@@ -1,0 +1,39 @@
+// Figure 7: average throughput (requests/s, log scale) for a single
+// workload instance in isolation — (1) closed-loop testing with one
+// sender and (2) parallel testing with 56 concurrent senders (§6.3.1).
+//
+// Paper: λ-NIC services requests 27x-736x faster than the two backends
+// for the web server and key-value client, 5x-15x for the transformer.
+#include <cstdio>
+
+#include "bench/harness.h"
+
+using namespace lnic;
+using namespace lnic::bench;
+
+int main() {
+  print_header("Figure 7: average throughput, single lambda in isolation");
+
+  const auto cases = standard_cases(/*web=*/3000, /*kv=*/3000, /*image=*/120);
+  const backends::BackendKind kinds[] = {
+      backends::BackendKind::kLambdaNic, backends::BackendKind::kBareMetal,
+      backends::BackendKind::kContainer};
+
+  for (const auto& test : cases) {
+    std::printf("\n-- %s --\n", test.name.c_str());
+    double rps[3][2] = {};
+    for (int k = 0; k < 3; ++k) {
+      for (int mode = 0; mode < 2; ++mode) {
+        const std::uint32_t threads = mode == 0 ? 1 : 56;
+        BackendRig rig(kinds[k]);
+        rig.run_closed_loop(test, threads);
+        rps[k][mode] = rig.last_throughput_rps();
+      }
+      std::printf("  %-12s 1 thread: %10.1f req/s    56 threads: %10.1f req/s\n",
+                  backends::to_string(kinds[k]), rps[k][0], rps[k][1]);
+    }
+    std::printf("  speedup @56: vs bare-metal %.1fx, vs container %.1fx\n",
+                rps[0][1] / rps[1][1], rps[0][1] / rps[2][1]);
+  }
+  return 0;
+}

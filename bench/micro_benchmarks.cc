@@ -1,0 +1,94 @@
+// google-benchmark micro-benchmarks of the reproduction's own machinery:
+// event-queue throughput, interpreter speed, compiler pipeline cost,
+// Raft commit latency (wall-clock of the *simulator*, not simulated
+// time). These guard against performance regressions in the harness.
+#include <benchmark/benchmark.h>
+
+#include "compiler/pipeline.h"
+#include "microc/interp.h"
+#include "net/network.h"
+#include "raft/raft.h"
+#include "sim/simulator.h"
+#include "workloads/lambdas.h"
+
+using namespace lnic;
+
+static void BM_EventQueueScheduleDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule(i, [] {});
+    }
+    benchmark::DoNotOptimize(sim.run());
+  }
+}
+BENCHMARK(BM_EventQueueScheduleDispatch);
+
+static void BM_InterpreterWebLambda(benchmark::State& state) {
+  auto bundle = workloads::make_standard_workloads();
+  auto compiled = compiler::compile(bundle.spec, std::move(bundle.lambdas));
+  const auto& program = compiled.value().program;
+  microc::ObjectStore store(program);
+  microc::Machine machine(program, microc::CostModel::npu(), &store);
+  microc::Invocation inv;
+  inv.headers.fields[microc::kHdrWorkloadId] = workloads::kWebServerId;
+  inv.match_data = {1};
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    auto out = machine.run(inv);
+    instructions += out.instructions;
+    benchmark::DoNotOptimize(out.return_value);
+  }
+  state.counters["instrs/req"] =
+      static_cast<double>(instructions) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_InterpreterWebLambda);
+
+static void BM_CompilerFullPipeline(benchmark::State& state) {
+  for (auto _ : state) {
+    auto bundle = workloads::make_standard_workloads();
+    auto compiled = compiler::compile(bundle.spec, std::move(bundle.lambdas));
+    benchmark::DoNotOptimize(compiled.ok());
+  }
+}
+BENCHMARK(BM_CompilerFullPipeline);
+
+static void BM_NetworkPacketDelivery(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::Network network(sim);
+    const NodeId a = network.attach(nullptr);
+    const NodeId b = network.attach([](const net::Packet&) {});
+    for (int i = 0; i < 1000; ++i) {
+      net::Packet p;
+      p.src = a;
+      p.dst = b;
+      p.payload.resize(64);
+      network.send(std::move(p));
+    }
+    sim.run();
+  }
+}
+BENCHMARK(BM_NetworkPacketDelivery);
+
+static void BM_RaftElectAndCommit(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    raft::Cluster cluster(sim, 3);
+    cluster.start();
+    sim.run_until(seconds(2));
+    auto* leader = cluster.leader();
+    if (leader != nullptr) {
+      for (int i = 0; i < 20; ++i) {
+        (void)leader->propose(
+            raft::Command{raft::Command::Op::kPut, "k", "v"});
+      }
+    }
+    sim.run_until(seconds(3));
+    benchmark::DoNotOptimize(cluster.leader());
+  }
+}
+BENCHMARK(BM_RaftElectAndCommit);
+
+BENCHMARK_MAIN();

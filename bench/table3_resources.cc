@@ -1,0 +1,42 @@
+// Table 3: additional resources utilized by each backend while serving
+// 56 concurrent image-transformer requests (§6.4). Paper's rows:
+//   host CPU (avg %):   +0.1 | +9.2  | +13.7
+//   host memory (MiB):   0   | +62.5 | +219.5
+//   NIC  memory (MiB): +63.2 |  0    |  0
+#include <cstdio>
+
+#include "bench/harness.h"
+
+using namespace lnic;
+using namespace lnic::bench;
+
+int main() {
+  print_header("Table 3: additional resources, image transformer @56 senders");
+
+  const auto cases = standard_cases(0, 0, /*image=*/336);
+  const auto& image_case = cases[2];
+  const backends::BackendKind kinds[] = {
+      backends::BackendKind::kLambdaNic, backends::BackendKind::kBareMetal,
+      backends::BackendKind::kContainer};
+
+  backends::ResourceUsage usage[3];
+  for (int k = 0; k < 3; ++k) {
+    BackendRig rig(kinds[k]);
+    const SimTime start = rig.sim().now();
+    rig.run_closed_loop(image_case, /*concurrency=*/56);
+    usage[k] = rig.backend().usage(rig.sim().now() - start);
+  }
+
+  std::printf("\n  %-22s %12s %12s %12s\n", "", "lambda-nic", "bare-metal",
+              "container");
+  std::printf("  %-22s %11.1f%% %11.1f%% %11.1f%%   (paper: 0.1 / 9.2 / 13.7)\n",
+              "host CPU (avg %)", usage[0].host_cpu_percent,
+              usage[1].host_cpu_percent, usage[2].host_cpu_percent);
+  std::printf("  %-22s %11.1fM %11.1fM %11.1fM   (paper: 0 / 62.5 / 219.5)\n",
+              "host memory (MiB)", to_mib(usage[0].host_memory),
+              to_mib(usage[1].host_memory), to_mib(usage[2].host_memory));
+  std::printf("  %-22s %11.1fM %11.1fM %11.1fM   (paper: 63.2 / 0 / 0)\n",
+              "NIC memory (MiB)", to_mib(usage[0].nic_memory),
+              to_mib(usage[1].nic_memory), to_mib(usage[2].nic_memory));
+  return 0;
+}

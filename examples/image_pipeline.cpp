@@ -1,0 +1,49 @@
+// Interactive image-processing service (§2.1's motivating use case:
+// "resize images on the fly with Amazon S3, AWS Lambda"): clients upload
+// RGBA images; the transformer lambda converts them to grayscale on the
+// SmartNIC, with the payload arriving over multi-packet RDMA (D3).
+//
+//   $ ./build/examples/image_pipeline
+#include <cstdio>
+
+#include "core/cluster.h"
+#include "workloads/image.h"
+#include "workloads/lambdas.h"
+
+using namespace lnic;
+
+int main() {
+  std::printf("Image pipeline on λ-NIC (multi-packet RDMA path)\n\n");
+
+  core::ClusterConfig config;
+  config.workers = 2;
+  core::Cluster cluster(config);
+  if (!cluster.deploy(workloads::make_standard_workloads()).ok()) return 1;
+  cluster.wait_until_ready();
+
+  Sampler latencies;
+  const std::uint32_t sizes[] = {64, 128, 256, 512};
+  for (const std::uint32_t side : sizes) {
+    const auto img = workloads::make_test_image(side, side, side);
+    auto r = cluster.invoke_and_wait(
+        "image_transformer",
+        workloads::encode_image_request(img.width, img.height, img.rgba));
+    if (!r.ok()) {
+      std::fprintf(stderr, "invoke failed: %s\n", r.error().message.c_str());
+      return 1;
+    }
+    const bool correct = r.value().payload == workloads::to_grayscale(img);
+    const std::size_t frags =
+        (img.rgba.size() + 8 + net::kMaxPayload - 1) / net::kMaxPayload;
+    latencies.add(static_cast<double>(r.value().latency));
+    std::printf("  %4ux%-4u  %7zu B in %4zu RDMA fragments -> %7zu B gray, "
+                "%8.3f ms  [%s]\n",
+                img.width, img.height, img.rgba.size(), frags,
+                r.value().payload.size(), to_ms(r.value().latency),
+                correct ? "ok" : "MISMATCH");
+  }
+  std::printf("\n  latency: min %.3f ms, max %.3f ms — scales with pixels, "
+              "not with host CPU load (the host stays idle).\n",
+              latencies.min() / 1e6, latencies.max() / 1e6);
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Uniform Backend interface over the three execution substrates the
+// evaluation compares (§6.1.1): λ-NIC, bare metal (Isolate-like), and
+// containers (OpenFaaS-like). Benches and the workload manager program
+// against this interface so every experiment runs identically across
+// backends.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "backends/calibration.h"
+#include "common/result.h"
+#include "common/types.h"
+#include "hostsim/host.h"
+#include "net/network.h"
+#include "nicsim/nic.h"
+#include "sim/simulator.h"
+#include "workloads/lambdas.h"
+
+namespace lnic::backends {
+
+enum class BackendKind : std::uint8_t { kLambdaNic, kBareMetal, kContainer };
+const char* to_string(BackendKind kind);
+
+/// Snapshot for Table 3: additional resources while serving load.
+struct ResourceUsage {
+  double host_cpu_percent = 0.0;  // of the whole 56-thread host
+  Bytes host_memory = 0;
+  Bytes nic_memory = 0;
+};
+
+/// Inputs to Table 4's startup comparison.
+struct StartupProfile {
+  Bytes artifact_bytes = 0;
+  SimDuration startup_time = 0;  // download + boot + first-request ready
+};
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  virtual BackendKind kind() const = 0;
+  /// The fabric address requests are sent to.
+  virtual NodeId node() const = 0;
+  /// Compiles (as appropriate for the backend) and installs the bundle.
+  virtual Status deploy(workloads::WorkloadBundle bundle) = 0;
+  virtual void set_kv_server(NodeId node) = 0;
+  /// Additional resources consumed while serving, measured over the
+  /// window [start, end] with `concurrent` requests in flight.
+  virtual ResourceUsage usage(SimDuration window) const = 0;
+  virtual StartupProfile startup_profile() const = 0;
+  virtual std::uint64_t completed() const = 0;
+};
+
+/// λ-NIC: lambdas run on the SmartNIC; host CPU stays idle (§6.4).
+class LambdaNicBackend : public Backend {
+ public:
+  LambdaNicBackend(sim::Simulator& sim, net::Network& network,
+                   nicsim::NicConfig config = lambda_nic_config());
+
+  BackendKind kind() const override { return BackendKind::kLambdaNic; }
+  NodeId node() const override { return nic_.node(); }
+  Status deploy(workloads::WorkloadBundle bundle) override;
+  void set_kv_server(NodeId node) override { nic_.set_kv_server(node); }
+  ResourceUsage usage(SimDuration window) const override;
+  StartupProfile startup_profile() const override;
+  std::uint64_t completed() const override {
+    return nic_.stats().requests_completed;
+  }
+
+  nicsim::SmartNic& nic() { return nic_; }
+
+ private:
+  nicsim::SmartNic nic_;
+};
+
+/// Host-resident backend covering both baselines; the HostConfig decides
+/// which one (bare_metal_config() or container_config()).
+class HostBackend : public Backend {
+ public:
+  HostBackend(sim::Simulator& sim, net::Network& network, BackendKind kind,
+              hostsim::HostConfig config);
+
+  BackendKind kind() const override { return kind_; }
+  NodeId node() const override { return host_.node(); }
+  Status deploy(workloads::WorkloadBundle bundle) override;
+  void set_kv_server(NodeId node) override { host_.set_kv_server(node); }
+  ResourceUsage usage(SimDuration window) const override;
+  StartupProfile startup_profile() const override;
+  std::uint64_t completed() const override {
+    return host_.stats().requests_completed;
+  }
+
+  hostsim::HostServer& host() { return host_; }
+
+ private:
+  BackendKind kind_;
+  hostsim::HostServer host_;
+  std::uint32_t peak_concurrency_ = 0;
+
+  friend class ConcurrencyProbe;
+};
+
+std::unique_ptr<Backend> make_backend(BackendKind kind, sim::Simulator& sim,
+                                      net::Network& network,
+                                      std::uint32_t worker_threads = 56);
+
+}  // namespace lnic::backends

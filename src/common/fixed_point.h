@@ -1,0 +1,54 @@
+// Q16.16 fixed-point arithmetic.
+//
+// NPU cores have no floating-point unit (paper §3.1b): the workload
+// manager must transform float programs to fixed point. The image
+// transformer's luma weights use this type, and the microc IR exposes only
+// integer/fixed-point ALU ops.
+#pragma once
+
+#include <cstdint>
+
+namespace lnic {
+
+/// Signed Q16.16 fixed-point number.
+class Fixed {
+ public:
+  constexpr Fixed() = default;
+  static constexpr Fixed from_raw(std::int32_t raw) {
+    Fixed f;
+    f.raw_ = raw;
+    return f;
+  }
+  static constexpr Fixed from_int(std::int32_t v) { return from_raw(v << 16); }
+  static constexpr Fixed from_double(double v) {
+    return from_raw(static_cast<std::int32_t>(v * 65536.0));
+  }
+
+  constexpr std::int32_t raw() const { return raw_; }
+  constexpr std::int32_t to_int() const { return raw_ >> 16; }
+  constexpr double to_double() const { return raw_ / 65536.0; }
+
+  friend constexpr Fixed operator+(Fixed a, Fixed b) {
+    return from_raw(a.raw_ + b.raw_);
+  }
+  friend constexpr Fixed operator-(Fixed a, Fixed b) {
+    return from_raw(a.raw_ - b.raw_);
+  }
+  friend constexpr Fixed operator*(Fixed a, Fixed b) {
+    return from_raw(static_cast<std::int32_t>(
+        (static_cast<std::int64_t>(a.raw_) * b.raw_) >> 16));
+  }
+  friend constexpr Fixed operator/(Fixed a, Fixed b) {
+    return from_raw(static_cast<std::int32_t>(
+        (static_cast<std::int64_t>(a.raw_) << 16) / b.raw_));
+  }
+  friend constexpr bool operator==(Fixed a, Fixed b) {
+    return a.raw_ == b.raw_;
+  }
+  friend constexpr bool operator<(Fixed a, Fixed b) { return a.raw_ < b.raw_; }
+
+ private:
+  std::int32_t raw_ = 0;
+};
+
+}  // namespace lnic

@@ -1,0 +1,42 @@
+// Tiny leveled logger. Off by default above kWarn so simulations stay
+// quiet; benches/examples raise the level explicitly when narrating.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace lnic {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level that is emitted.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line to stderr if `level` >= the global level.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogMessage {
+ public:
+  LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, stream_.str()); }
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace lnic
+
+#define LNIC_LOG(level) ::lnic::detail::LogMessage(::lnic::LogLevel::level)
+#define LNIC_DEBUG() LNIC_LOG(kDebug)
+#define LNIC_INFO() LNIC_LOG(kInfo)
+#define LNIC_WARN() LNIC_LOG(kWarn)
+#define LNIC_ERROR() LNIC_LOG(kError)

@@ -1,0 +1,79 @@
+// Minimal Result<T> / Status types (gcc 12 lacks std::expected).
+//
+// Used for all fallible public APIs in place of exceptions, per the
+// project's error-handling policy: constructors establish invariants and
+// may assert, but cross-module calls report failure through Result.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace lnic {
+
+/// Error carrying a human-readable message.
+struct Error {
+  std::string message;
+};
+
+inline Error make_error(std::string msg) { return Error{std::move(msg)}; }
+
+/// Either a value of type T or an Error. Monostate-free, always engaged.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}          // NOLINT(implicit)
+  Result(Error error) : data_(std::move(error)) {}      // NOLINT(implicit)
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(data_);
+  }
+
+  /// Returns the contained value or `fallback` when this is an error.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// A Result with no payload.
+class Status {
+ public:
+  Status() = default;                                    // success
+  Status(Error error) : error_(std::move(error)) {}      // NOLINT(implicit)
+
+  static Status ok_status() { return Status{}; }
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+  const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+}  // namespace lnic

@@ -1,0 +1,77 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lnic {
+
+void Sampler::add(double v) {
+  samples_.push_back(v);
+  sorted_valid_ = false;
+}
+
+void Sampler::ensure_sorted() const {
+  if (sorted_valid_) return;
+  sorted_ = samples_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+double Sampler::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Sampler::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double s : samples_) acc += (s - m) * (s - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double Sampler::min() const {
+  ensure_sorted();
+  return sorted_.empty() ? 0.0 : sorted_.front();
+}
+
+double Sampler::max() const {
+  ensure_sorted();
+  return sorted_.empty() ? 0.0 : sorted_.back();
+}
+
+double Sampler::percentile(double p) const {
+  assert(p >= 0.0 && p <= 100.0);
+  ensure_sorted();
+  if (sorted_.empty()) return 0.0;
+  // Nearest-rank: smallest value with at least ceil(p/100 * N) samples <= it.
+  const auto n = sorted_.size();
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  return sorted_[rank - 1];
+}
+
+std::vector<std::pair<double, double>> Sampler::ecdf() const {
+  ensure_sorted();
+  std::vector<std::pair<double, double>> out;
+  const auto n = sorted_.size();
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Collapse duplicate x values to the highest F.
+    if (!out.empty() && out.back().first == sorted_[i]) {
+      out.back().second =
+          static_cast<double>(i + 1) / static_cast<double>(n);
+    } else {
+      out.emplace_back(sorted_[i],
+                       static_cast<double>(i + 1) / static_cast<double>(n));
+    }
+  }
+  return out;
+}
+
+}  // namespace lnic

@@ -1,0 +1,57 @@
+// Fundamental value types shared by every λ-NIC module.
+//
+// All simulated time is kept in integral nanoseconds (SimTime/SimDuration)
+// so that event ordering is exact and runs are bit-reproducible across
+// platforms; helpers convert to/from human units.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace lnic {
+
+/// Absolute simulated time in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+/// A span of simulated time in nanoseconds.
+using SimDuration = std::int64_t;
+
+constexpr SimTime kSimTimeMax = std::numeric_limits<SimTime>::max();
+
+constexpr SimDuration nanoseconds(std::int64_t n) { return n; }
+constexpr SimDuration microseconds(std::int64_t u) { return u * 1000; }
+constexpr SimDuration milliseconds(std::int64_t m) { return m * 1'000'000; }
+constexpr SimDuration seconds(std::int64_t s) { return s * 1'000'000'000; }
+
+/// Converts a simulated duration to fractional milliseconds (for reports).
+constexpr double to_ms(SimDuration d) { return static_cast<double>(d) / 1e6; }
+/// Converts a simulated duration to fractional microseconds.
+constexpr double to_us(SimDuration d) { return static_cast<double>(d) / 1e3; }
+/// Converts a simulated duration to fractional seconds.
+constexpr double to_sec(SimDuration d) { return static_cast<double>(d) / 1e9; }
+
+/// Identifies an attachment point (server, NIC, switch port) on the
+/// simulated network. Dense small integers; assigned by net::Network.
+using NodeId = std::uint32_t;
+constexpr NodeId kInvalidNode = 0xFFFFFFFFu;
+
+/// Identifies a deployed lambda workload. Carried in the lambda header of
+/// every request packet; assigned by the workload manager at compile time
+/// (paper §4.1, "Expressing match").
+using WorkloadId = std::uint32_t;
+constexpr WorkloadId kInvalidWorkload = 0xFFFFFFFFu;
+
+/// Monotonically increasing request identifier, unique per gateway.
+using RequestId = std::uint64_t;
+
+/// Bytes, used for artifact/memory sizes.
+using Bytes = std::uint64_t;
+
+constexpr Bytes operator""_KiB(unsigned long long v) { return v * 1024ull; }
+constexpr Bytes operator""_MiB(unsigned long long v) {
+  return v * 1024ull * 1024ull;
+}
+
+inline double to_mib(Bytes b) { return static_cast<double>(b) / (1024.0 * 1024.0); }
+
+}  // namespace lnic

@@ -1,0 +1,30 @@
+// Shared IR analyses: register def/use queries, block reachability, and
+// per-object access counting. Used by DCE, coalescing and stratification.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "microc/ir.h"
+
+namespace lnic::compiler {
+
+/// Registers an instruction reads. Note kMemCpy/kGrayscale/kBodyCopy read
+/// their `dst` field (it names the destination-offset register).
+std::vector<std::uint16_t> regs_read(const microc::Instr& in);
+
+/// The register an instruction writes, if any.
+std::optional<std::uint16_t> reg_written(const microc::Instr& in);
+
+/// Successor blocks of a terminator instruction.
+std::vector<std::uint32_t> successors(const microc::Instr& terminator);
+
+/// Blocks reachable from the entry block.
+std::vector<bool> reachable_blocks(const microc::Function& fn);
+
+/// Fills MemObject::access_estimate with the static count of memory
+/// instructions referencing each object across the whole program.
+void estimate_object_accesses(microc::Program& program);
+
+}  // namespace lnic::compiler

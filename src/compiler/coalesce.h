@@ -1,0 +1,21 @@
+// Lambda coalescing (§5.1): "the workload manager runs program analysis
+// (dead-code elimination and code motion) to remove duplicate logic ...
+// and move it into shared libraries as helper functions."
+//
+// Lambdas submitted by different users routinely duplicate boilerplate
+// (the two key-value clients share query-building logic; the web server
+// and image transformer share reply logic, §6.4). Coalescing finds
+// structurally identical functions and merges them into one shared
+// helper, rewriting all call sites.
+#pragma once
+
+#include "microc/ir.h"
+
+namespace lnic::compiler {
+
+/// Merges structurally identical functions (same body, argument count);
+/// the first occurrence survives. Call sites, the dispatch index and
+/// lambda entries are remapped. Returns the number of functions removed.
+std::size_t coalesce_lambdas(microc::Program& program);
+
+}  // namespace lnic::compiler

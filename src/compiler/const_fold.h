@@ -1,0 +1,16 @@
+// Constant folding: evaluates ALU instructions whose operands are known
+// constants within a basic block, replacing them with kConst. Paired
+// with DCE it shrinks the register-mixing boilerplate user lambdas carry
+// — and it must match the interpreter's semantics bit for bit
+// (divisions by a possibly-zero value are never folded; the runtime trap
+// is the defined behaviour).
+#pragma once
+
+#include "microc/ir.h"
+
+namespace lnic::compiler {
+
+/// Folds constants in every function. Returns instructions rewritten.
+std::size_t fold_constants(microc::Program& program);
+
+}  // namespace lnic::compiler

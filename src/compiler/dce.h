@@ -1,0 +1,15 @@
+// Dead-code elimination: removes unreachable basic blocks and pure
+// instructions whose results are never read. Part of the lambda-coalescing
+// stage ("program analysis (i.e., dead-code elimination and code
+// motion)", §5.1), also exposed standalone for tests and ablations.
+#pragma once
+
+#include "microc/ir.h"
+
+namespace lnic::compiler {
+
+/// Runs DCE over every function. Returns the number of instructions
+/// removed (blocks count as their instruction totals).
+std::size_t eliminate_dead_code(microc::Program& program);
+
+}  // namespace lnic::compiler

@@ -1,0 +1,29 @@
+// Function inlining + dead-function pruning.
+//
+// Inlining substitutes calls to small single-block leaf functions,
+// trading instruction-store space for per-call linkage cycles — the
+// opposite lever from lambda coalescing, which is why both exist and the
+// ablation bench compares them. Pruning removes functions unreachable
+// from the dispatch function and lambda entries (e.g. helpers whose
+// every call site was inlined).
+#pragma once
+
+#include "microc/ir.h"
+
+namespace lnic::compiler {
+
+struct InlineOptions {
+  /// Largest callee body (instructions) that will be inlined.
+  std::size_t max_callee_instrs = 24;
+};
+
+/// Inlines eligible call sites. Returns calls inlined.
+std::size_t inline_functions(microc::Program& program,
+                             const InlineOptions& options = {});
+
+/// Removes functions unreachable from the dispatch function and lambda
+/// entries, remapping call indices. No-op on programs with no dispatch
+/// (nothing is provably dead before assembly). Returns functions removed.
+std::size_t prune_unreachable_functions(microc::Program& program);
+
+}  // namespace lnic::compiler

@@ -1,0 +1,88 @@
+#include "compiler/isolation.h"
+
+#include <map>
+#include <optional>
+
+namespace lnic::compiler {
+
+using microc::Instr;
+using microc::Opcode;
+using microc::Program;
+
+Result<IsolationReport> check_isolation(const Program& program) {
+  IsolationReport report;
+  for (const auto& fn : program.functions) {
+    for (const auto& block : fn.blocks) {
+      // Block-local constant tracking, same discipline as const folding.
+      std::map<std::uint16_t, std::uint64_t> known;
+      for (const auto& in : block.instrs) {
+        auto value_of = [&](std::uint16_t r) -> std::optional<std::uint64_t> {
+          const auto it = known.find(r);
+          if (it == known.end()) return std::nullopt;
+          return it->second;
+        };
+
+        if (in.op == Opcode::kLoad || in.op == Opcode::kStore) {
+          ++report.accesses_total;
+          if (const auto base = value_of(in.a)) {
+            ++report.accesses_proven;
+            const std::uint64_t offset =
+                *base + static_cast<std::uint64_t>(in.imm);
+            const auto& obj = program.objects[in.obj];
+            if (offset + in.width > obj.size) {
+              ++report.violations;
+              return make_error(
+                  "isolation: '" + fn.name + "' accesses object '" +
+                  obj.name + "' at offset " + std::to_string(offset) +
+                  " width " + std::to_string(in.width) + " beyond size " +
+                  std::to_string(obj.size));
+            }
+          }
+        } else if (in.op == Opcode::kMemCpy || in.op == Opcode::kGrayscale ||
+                   in.op == Opcode::kHash || in.op == Opcode::kRespMem ||
+                   in.op == Opcode::kBodyCopy) {
+          ++report.accesses_total;  // length usually dynamic; runtime-checked
+        }
+
+        // Track constants forward.
+        if (in.op == Opcode::kConst) {
+          known[in.dst] = static_cast<std::uint64_t>(in.imm);
+        } else if (in.op == Opcode::kMov) {
+          const auto v = value_of(in.a);
+          if (v) {
+            known[in.dst] = *v;
+          } else {
+            known.erase(in.dst);
+          }
+        } else if (in.op == Opcode::kAddImm) {
+          const auto v = value_of(in.a);
+          if (v) {
+            known[in.dst] = *v + static_cast<std::uint64_t>(in.imm);
+          } else {
+            known.erase(in.dst);
+          }
+        } else {
+          switch (in.op) {
+            case Opcode::kStore:
+            case Opcode::kRespByte:
+            case Opcode::kRespWord:
+            case Opcode::kRespMem:
+            case Opcode::kMemCpy:
+            case Opcode::kGrayscale:
+            case Opcode::kBodyCopy:
+            case Opcode::kBr:
+            case Opcode::kBrIf:
+            case Opcode::kRet:
+              break;  // writes no register
+            default:
+              known.erase(in.dst);
+              break;
+          }
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace lnic::compiler

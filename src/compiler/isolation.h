@@ -1,0 +1,29 @@
+// Static isolation assertions (paper §4.2.1 D2: "the compiler can insert
+// static and dynamic assertions to ensure that a lambda does not access
+// the physical memory of other lambdas").
+//
+// The static half: every memory access whose offset is provably constant
+// is checked against its object's bounds at compile time; the workload
+// manager refuses programs with provable violations. Accesses that
+// cannot be proven are left to the interpreter's runtime traps (the
+// dynamic half).
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "microc/ir.h"
+
+namespace lnic::compiler {
+
+struct IsolationReport {
+  std::uint64_t accesses_total = 0;
+  std::uint64_t accesses_proven = 0;  // statically verified in-bounds
+  std::uint64_t violations = 0;
+};
+
+/// Analyzes the program; returns the report, or an error naming the
+/// first provable out-of-bounds access.
+Result<IsolationReport> check_isolation(const microc::Program& program);
+
+}  // namespace lnic::compiler

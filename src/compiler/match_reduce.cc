@@ -1,0 +1,12 @@
+#include "compiler/match_reduce.h"
+
+#include "p4/lower.h"
+
+namespace lnic::compiler {
+
+Status reduce_match_stage(const p4::MatchSpec& spec,
+                          microc::Program& program) {
+  return p4::lower_match_stage(spec, program, p4::LoweringMode::kReduced);
+}
+
+}  // namespace lnic::compiler

@@ -1,0 +1,16 @@
+// Match reduction (§5.1): merges the per-lambda match/route tables and
+// converts the table lookups into if-else sequences, which NPU cores
+// execute more efficiently; unused header fields are dropped from the
+// generated parser. Implemented by re-lowering the P4 spec in reduced
+// mode over the same program.
+#pragma once
+
+#include "common/result.h"
+#include "microc/ir.h"
+#include "p4/p4.h"
+
+namespace lnic::compiler {
+
+Status reduce_match_stage(const p4::MatchSpec& spec, microc::Program& program);
+
+}  // namespace lnic::compiler

@@ -1,0 +1,31 @@
+// Memory stratification (§5.1): "based on the access patterns, the
+// workload manager can choose the most efficient memory for an object at
+// compile time ... object size or hints from the user (as pragmas) to
+// decide whether to put the object in a local memory, CTM, IMEM or EMEM."
+//
+// Placement is greedy by heat density (estimated accesses per byte),
+// hot-pragma objects first, under per-region capacity budgets of the
+// target NIC. Cold-pragma objects go straight to EMEM. The placement
+// changes both the lowered code size (far memories need longer access
+// sequences) and the interpreter's per-access cycle charges.
+#pragma once
+
+#include "common/types.h"
+#include "microc/ir.h"
+
+namespace lnic::compiler {
+
+/// Capacity budget of one NPU core's reachable memories, per program.
+struct TargetMemorySpec {
+  Bytes local_capacity = 4_KiB;    // per-core local memory
+  Bytes ctm_capacity = 256_KiB;    // island CTM share
+  Bytes imem_capacity = 4_MiB;     // on-chip IMEM share
+  Bytes emem_capacity = 2048_MiB;  // external DRAM (2 GiB card, §6.1.2)
+};
+
+/// Assigns MemObject::region for every object. Returns the number of
+/// objects moved out of EMEM (the naïve layout places everything there).
+std::size_t stratify_memory(microc::Program& program,
+                            const TargetMemorySpec& spec = {});
+
+}  // namespace lnic::compiler

@@ -1,0 +1,72 @@
+#include "core/cluster.h"
+
+namespace lnic::core {
+
+Cluster::Cluster(ClusterConfig config)
+    : config_(config),
+      network_(sim_, config.link, config.faults, config.seed),
+      storage_(backends::kMgmtBandwidthBps) {
+  gateway_ = std::make_unique<framework::Gateway>(sim_, network_,
+                                                  config.gateway);
+  cache_ = std::make_unique<kvstore::CacheServer>(sim_, network_);
+  if (config.with_etcd) {
+    etcd_ = std::make_unique<kvstore::EtcdStore>(sim_, config.etcd_nodes);
+    etcd_->start();
+  }
+  manager_ = std::make_unique<framework::WorkloadManager>(sim_, storage_,
+                                                          etcd_.get());
+  for (std::uint32_t i = 0; i < config.workers; ++i) {
+    workers_.push_back(backends::make_backend(config.backend, sim_, network_,
+                                              config.worker_threads));
+    workers_.back()->set_kv_server(cache_->node());
+  }
+  if (etcd_) gateway_->sync_with(*etcd_);
+}
+
+Result<framework::DeploymentRecord> Cluster::deploy(
+    workloads::WorkloadBundle bundle) {
+  // Let the etcd cluster elect a leader so route mirroring succeeds.
+  if (etcd_) sim_.run_until(sim_.now() + seconds(2));
+
+  std::optional<framework::DeploymentRecord> last;
+  for (auto& worker : workers_) {
+    workloads::WorkloadBundle copy = bundle;  // each worker gets the bundle
+    auto record = manager_->deploy(std::move(copy), *worker, gateway_.get());
+    if (!record.ok()) return record.error();
+    last = std::move(record).value();
+    ready_at_ = std::max(ready_at_, last->ready_at);
+  }
+  if (!last.has_value()) return make_error("cluster: no workers configured");
+  return *last;
+}
+
+void Cluster::wait_until_ready() {
+  sim_.run_until(std::max(ready_at_, sim_.now()) + milliseconds(1));
+}
+
+void Cluster::invoke(const std::string& name,
+                     std::vector<std::uint8_t> payload,
+                     framework::InvokeCallback callback) {
+  gateway_->invoke(name, std::move(payload), std::move(callback));
+}
+
+Result<proto::RpcResponse> Cluster::invoke_and_wait(
+    const std::string& name, std::vector<std::uint8_t> payload) {
+  std::optional<Result<proto::RpcResponse>> slot;
+  gateway_->invoke(name, std::move(payload),
+                   [&slot](Result<proto::RpcResponse> r) {
+                     slot = std::move(r);
+                   });
+  // Step (rather than run) because etcd's Raft timers keep the queue
+  // non-empty forever; bound by a generous deadline so a lost response
+  // cannot hang the caller.
+  const SimTime deadline = sim_.now() + seconds(300);
+  while (!slot.has_value() && sim_.now() < deadline && sim_.step()) {
+  }
+  if (!slot.has_value()) {
+    return make_error("cluster: no response before deadline");
+  }
+  return std::move(*slot);
+}
+
+}  // namespace lnic::core

@@ -1,0 +1,91 @@
+// λ-NIC public API: a one-object testbed mirroring the paper's Figure 5
+// cluster — a master node (gateway, workload manager, memcached-like
+// cache, etcd, artifact storage, monitoring) plus N worker nodes, each
+// hosting one serverless backend, all behind a 10 G switch.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   core::ClusterConfig config;
+//   core::Cluster cluster(config);
+//   cluster.deploy(workloads::make_standard_workloads());
+//   cluster.wait_until_ready();
+//   auto response = cluster.invoke_and_wait(
+//       "web_server", workloads::encode_web_request(0));
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "backends/backend.h"
+#include "common/result.h"
+#include "framework/gateway.h"
+#include "framework/manager.h"
+#include "framework/storage.h"
+#include "kvstore/cache_server.h"
+#include "kvstore/etcd.h"
+#include "net/network.h"
+#include "proto/rpc.h"
+#include "sim/simulator.h"
+#include "workloads/lambdas.h"
+
+namespace lnic::core {
+
+struct ClusterConfig {
+  std::uint32_t workers = 4;  // M2-M5 (§6.1.2)
+  backends::BackendKind backend = backends::BackendKind::kLambdaNic;
+  std::uint32_t worker_threads = 56;
+  bool with_etcd = true;
+  std::uint32_t etcd_nodes = 3;
+  net::LinkConfig link;
+  net::FaultConfig faults;
+  framework::GatewayConfig gateway;
+  std::uint64_t seed = 7;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config = {});
+
+  sim::Simulator& sim() { return sim_; }
+  net::Network& network() { return network_; }
+  framework::Gateway& gateway() { return *gateway_; }
+  framework::WorkloadManager& manager() { return *manager_; }
+  framework::BlobStorage& storage() { return storage_; }
+  kvstore::CacheServer& cache() { return *cache_; }
+  kvstore::EtcdStore* etcd() { return etcd_.get(); }
+  backends::Backend& worker(std::size_t i) { return *workers_.at(i); }
+  std::size_t worker_count() const { return workers_.size(); }
+
+  /// Deploys the bundle to every worker and registers routes. The
+  /// cluster is serving after wait_until_ready().
+  Result<framework::DeploymentRecord> deploy(workloads::WorkloadBundle bundle);
+
+  /// Advances the simulation past etcd elections and backend startup
+  /// (firmware load / container pull).
+  void wait_until_ready();
+
+  /// Fire-and-callback invocation through the gateway.
+  void invoke(const std::string& name, std::vector<std::uint8_t> payload,
+              framework::InvokeCallback callback);
+
+  /// Invokes and runs the simulation until the response (or failure)
+  /// arrives. Convenience for examples and tests.
+  Result<proto::RpcResponse> invoke_and_wait(const std::string& name,
+                                             std::vector<std::uint8_t> payload);
+
+ private:
+  ClusterConfig config_;
+  sim::Simulator sim_;
+  net::Network network_;
+  framework::BlobStorage storage_;
+  std::unique_ptr<framework::Gateway> gateway_;
+  std::unique_ptr<kvstore::CacheServer> cache_;
+  std::unique_ptr<kvstore::EtcdStore> etcd_;
+  std::unique_ptr<framework::WorkloadManager> manager_;
+  std::vector<std::unique_ptr<backends::Backend>> workers_;
+  SimTime ready_at_ = 0;
+};
+
+}  // namespace lnic::core

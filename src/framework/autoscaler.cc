@@ -1,0 +1,43 @@
+#include "framework/autoscaler.h"
+
+#include <algorithm>
+
+namespace lnic::framework {
+
+Autoscaler::Autoscaler(sim::Simulator& sim, Gateway& gateway,
+                       AutoscalerConfig config, ProvisionFn provision)
+    : sim_(sim),
+      gateway_(gateway),
+      config_(config),
+      provision_(std::move(provision)),
+      timer_(sim, config.evaluation_period, [this] { evaluate(); }) {}
+
+void Autoscaler::track(const std::string& function_name) {
+  replicas_.emplace(function_name, config_.min_replicas);
+  last_count_.emplace(function_name, 0);
+}
+
+void Autoscaler::start() { timer_.start(); }
+
+void Autoscaler::evaluate() {
+  for (auto& [name, current] : replicas_) {
+    const auto total = gateway_.metrics()
+                           .counter("gateway_requests_total{fn=" + name + "}")
+                           .value();
+    const auto delta = total - last_count_[name];
+    last_count_[name] = total;
+    const double rps = static_cast<double>(delta) /
+                       to_sec(config_.evaluation_period);
+    const auto desired = std::clamp<std::uint32_t>(
+        static_cast<std::uint32_t>(
+            rps / config_.target_rps_per_replica + 0.999),
+        config_.min_replicas, config_.max_replicas);
+    if (desired != current) {
+      current = desired;
+      ++scale_events_;
+      if (provision_) provision_(name, desired);
+    }
+  }
+}
+
+}  // namespace lnic::framework

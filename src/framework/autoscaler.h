@@ -1,0 +1,56 @@
+// Autoscaler (§6.1.1: OpenFaaS "includes an autoscaler to scale lambdas
+// as demands change"). Periodically inspects per-function arrival rates
+// from the gateway metrics and asks a provisioning callback to add or
+// remove worker replicas to keep per-replica load near a target.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "framework/gateway.h"
+#include "sim/simulator.h"
+
+namespace lnic::framework {
+
+struct AutoscalerConfig {
+  SimDuration evaluation_period = seconds(1);
+  double target_rps_per_replica = 500.0;
+  std::uint32_t min_replicas = 1;
+  std::uint32_t max_replicas = 8;
+};
+
+/// provision(name, desired_replicas) — the embedder adds/removes workers
+/// and updates gateway routes.
+using ProvisionFn =
+    std::function<void(const std::string& name, std::uint32_t replicas)>;
+
+class Autoscaler {
+ public:
+  Autoscaler(sim::Simulator& sim, Gateway& gateway, AutoscalerConfig config,
+             ProvisionFn provision);
+
+  void track(const std::string& function_name);
+  void start();
+  void stop() { timer_.stop(); }
+
+  std::uint32_t replicas(const std::string& name) const {
+    const auto it = replicas_.find(name);
+    return it == replicas_.end() ? 0 : it->second;
+  }
+  std::uint64_t scale_events() const { return scale_events_; }
+
+ private:
+  void evaluate();
+
+  sim::Simulator& sim_;
+  Gateway& gateway_;
+  AutoscalerConfig config_;
+  ProvisionFn provision_;
+  sim::PeriodicTimer timer_;
+  std::map<std::string, std::uint32_t> replicas_;
+  std::map<std::string, std::uint64_t> last_count_;
+  std::uint64_t scale_events_ = 0;
+};
+
+}  // namespace lnic::framework

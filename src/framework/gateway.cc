@@ -1,0 +1,184 @@
+#include "framework/gateway.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace lnic::framework {
+
+Gateway::Gateway(sim::Simulator& sim, net::Network& network,
+                 GatewayConfig config)
+    : sim_(sim), config_(config), rpc_(sim, network, config.rpc) {}
+
+void Gateway::register_function(const std::string& name, WorkloadId workload,
+                                std::vector<NodeId> workers) {
+  routes_[name] = Route{workload, std::move(workers)};
+}
+
+void Gateway::set_rate_limit(const std::string& name, RateLimit limit) {
+  Bucket bucket;
+  bucket.limit = limit;
+  bucket.tokens = limit.burst;
+  bucket.refilled_at = sim_.now();
+  buckets_[name] = bucket;
+}
+
+bool Gateway::admit(const std::string& name) {
+  const auto it = buckets_.find(name);
+  if (it == buckets_.end() || it->second.limit.requests_per_second <= 0.0) {
+    return true;
+  }
+  Bucket& b = it->second;
+  const double elapsed = to_sec(sim_.now() - b.refilled_at);
+  b.tokens = std::min(b.limit.burst,
+                      b.tokens + elapsed * b.limit.requests_per_second);
+  b.refilled_at = sim_.now();
+  if (b.tokens < 1.0) return false;
+  b.tokens -= 1.0;
+  return true;
+}
+
+void Gateway::add_worker(const std::string& name, NodeId worker) {
+  routes_[name].workers.push_back(worker);
+}
+
+const Route* Gateway::route(const std::string& name) const {
+  const auto it = routes_.find(name);
+  return it == routes_.end() ? nullptr : &it->second;
+}
+
+void Gateway::invoke(const std::string& name,
+                     std::vector<std::uint8_t> payload,
+                     InvokeCallback callback) {
+  if (!has_function(name) || routes_[name].workers.empty()) {
+    metrics_.counter("gateway_unroutable_total").increment();
+    if (callback) callback(make_error("gateway: no route for '" + name + "'"));
+    return;
+  }
+  if (!admit(name)) {
+    metrics_.counter("gateway_throttled_total{fn=" + name + "}").increment();
+    if (callback) {
+      callback(make_error("gateway: '" + name + "' throttled by rate limit"));
+    }
+    return;
+  }
+  metrics_.counter("gateway_requests_total{fn=" + name + "}").increment();
+  dispatch(name, std::move(payload), std::move(callback),
+           config_.failover_attempts);
+}
+
+void Gateway::remove_worker(NodeId worker) {
+  for (auto& [name, route] : routes_) {
+    (void)name;
+    route.workers.erase(
+        std::remove(route.workers.begin(), route.workers.end(), worker),
+        route.workers.end());
+  }
+}
+
+void Gateway::dispatch(const std::string& name,
+                       std::vector<std::uint8_t> payload,
+                       InvokeCallback callback,
+                       std::uint32_t attempts_left) {
+  const auto it = routes_.find(name);
+  if (it == routes_.end() || it->second.workers.empty()) {
+    if (callback) callback(make_error("gateway: no workers for '" + name + "'"));
+    return;
+  }
+  const Route& route = it->second;
+  const std::size_t pick = rr_cursor_[name]++ % route.workers.size();
+  const NodeId worker = route.workers[pick];
+
+  const SimTime started = sim_.now();
+  // Proxy/NAT lookup happens before the request leaves the gateway.
+  sim_.schedule(config_.proxy_overhead, [this, name, worker, route, started,
+                                         attempts_left,
+                                         payload = std::move(payload),
+                                         callback = std::move(callback)]() mutable {
+    // Keep a copy in case the call fails and we fail over to a replica.
+    std::vector<std::uint8_t> retry_copy = payload;
+    rpc_.call(worker, route.workload, std::move(payload),
+              [this, name, worker, started, attempts_left,
+               retry_copy = std::move(retry_copy),
+               callback = std::move(callback)](
+                  Result<proto::RpcResponse> result) mutable {
+                if (result.ok()) {
+                  metrics_
+                      .sampler("gateway_latency_ns{fn=" + name + "}")
+                      .add(static_cast<double>(sim_.now() - started));
+                  if (callback) callback(std::move(result));
+                  return;
+                }
+                metrics_.counter("gateway_failures_total{fn=" + name + "}")
+                    .increment();
+                // The worker looks dead: drop it and fail over to the
+                // next replica (the autoscaler/manager re-adds healthy
+                // workers through etcd).
+                if (attempts_left > 0) {
+                  remove_worker(worker);
+                  metrics_.counter("gateway_failovers_total{fn=" + name + "}")
+                      .increment();
+                  dispatch(name, std::move(retry_copy), std::move(callback),
+                           attempts_left - 1);
+                  return;
+                }
+                if (callback) callback(std::move(result));
+              });
+  });
+}
+
+std::string Gateway::encode_route(WorkloadId workload,
+                                  const std::vector<NodeId>& workers) {
+  std::ostringstream out;
+  out << workload << "|";
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    if (i > 0) out << ",";
+    out << workers[i];
+  }
+  return out.str();
+}
+
+Result<Route> Gateway::decode_route(const std::string& encoded) {
+  const auto bar = encoded.find('|');
+  if (bar == std::string::npos) {
+    return make_error("gateway: malformed route '" + encoded + "'");
+  }
+  Route route;
+  try {
+    route.workload = static_cast<WorkloadId>(
+        std::stoul(encoded.substr(0, bar)));
+    std::string rest = encoded.substr(bar + 1);
+    std::istringstream stream(rest);
+    std::string token;
+    while (std::getline(stream, token, ',')) {
+      if (!token.empty()) {
+        route.workers.push_back(static_cast<NodeId>(std::stoul(token)));
+      }
+    }
+  } catch (const std::exception&) {
+    return make_error("gateway: malformed route '" + encoded + "'");
+  }
+  return route;
+}
+
+void Gateway::apply_route_key(const std::string& key,
+                              const std::string& value) {
+  constexpr const char* kPrefix = "route/";
+  if (key.rfind(kPrefix, 0) != 0) return;
+  const std::string name = key.substr(6);
+  auto decoded = decode_route(value);
+  if (decoded.ok()) {
+    routes_[name] = std::move(decoded).value();
+  }
+}
+
+void Gateway::sync_with(kvstore::EtcdStore& etcd) {
+  for (const auto& [key, value] : etcd.list("route/")) {
+    apply_route_key(key, value);
+  }
+  etcd.watch("route/", [this](const std::string& key,
+                              const std::string& value) {
+    apply_route_key(key, value);
+  });
+}
+
+}  // namespace lnic::framework

@@ -1,0 +1,113 @@
+// Gateway (Fig. 2/5): proxies user requests to the right workload on the
+// right worker. Built on the weakly-consistent RPC client (D3), it
+// assigns lambda-header workload IDs, load-balances across worker
+// replicas (round robin), tracks per-function latency/throughput in the
+// metrics registry, and can keep its routing table synchronized with the
+// etcd store the workload manager writes (§6.1.1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "framework/metrics.h"
+#include "kvstore/etcd.h"
+#include "net/network.h"
+#include "proto/rpc.h"
+#include "sim/simulator.h"
+
+namespace lnic::framework {
+
+struct GatewayConfig {
+  /// Routing/NAT lookup cost per proxied request.
+  SimDuration proxy_overhead = microseconds(20);
+  /// On transport failure (retransmissions exhausted — worker dead),
+  /// fail the request over to the next replica up to this many times.
+  std::uint32_t failover_attempts = 1;
+  proto::RpcConfig rpc;
+};
+
+struct Route {
+  WorkloadId workload = kInvalidWorkload;
+  std::vector<NodeId> workers;
+};
+
+/// Token-bucket rate limit, the gateway's DDoS guard (§7: "any malicious
+/// attempt to trigger the lambdas will be blocked by the gateway").
+struct RateLimit {
+  double requests_per_second = 0.0;  // 0 = unlimited
+  double burst = 1.0;                // bucket capacity
+};
+
+using InvokeCallback = std::function<void(Result<proto::RpcResponse>)>;
+
+class Gateway {
+ public:
+  Gateway(sim::Simulator& sim, net::Network& network, GatewayConfig config = {});
+
+  NodeId node() const { return rpc_.node(); }
+
+  /// Registers (or replaces) a function route.
+  void register_function(const std::string& name, WorkloadId workload,
+                         std::vector<NodeId> workers);
+
+  /// Installs a per-function token-bucket limit; excess requests fail
+  /// fast with a throttle error (and count in the metrics).
+  void set_rate_limit(const std::string& name, RateLimit limit);
+  void add_worker(const std::string& name, NodeId worker);
+  bool has_function(const std::string& name) const {
+    return routes_.count(name) > 0;
+  }
+  const Route* route(const std::string& name) const;
+
+  /// Invokes a function by name; the callback receives the response (or
+  /// a transport error after retransmissions are exhausted).
+  void invoke(const std::string& name, std::vector<std::uint8_t> payload,
+              InvokeCallback callback);
+
+  /// Drops a worker from every route (operator action or health check).
+  void remove_worker(NodeId worker);
+
+  /// Mirrors routes from etcd: keys "route/<name>" with value
+  /// "<wid>|<node>,<node>,...". Applies current entries and watches for
+  /// changes (the Watch Service of Fig. 5).
+  void sync_with(kvstore::EtcdStore& etcd);
+
+  /// Serialization helpers for the etcd route encoding.
+  static std::string encode_route(WorkloadId workload,
+                                  const std::vector<NodeId>& workers);
+  static Result<Route> decode_route(const std::string& encoded);
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const Sampler& latency(const std::string& name) {
+    return metrics_.sampler("gateway_latency_ns{fn=" + name + "}");
+  }
+  proto::RpcClient& rpc() { return rpc_; }
+
+ private:
+  void apply_route_key(const std::string& key, const std::string& value);
+  bool admit(const std::string& name);  // token-bucket check
+  void dispatch(const std::string& name, std::vector<std::uint8_t> payload,
+                InvokeCallback callback, std::uint32_t attempts_left);
+
+  struct Bucket {
+    RateLimit limit;
+    double tokens = 0.0;
+    SimTime refilled_at = 0;
+  };
+
+  sim::Simulator& sim_;
+  GatewayConfig config_;
+  proto::RpcClient rpc_;
+  std::map<std::string, Route> routes_;
+  std::map<std::string, std::size_t> rr_cursor_;
+  std::map<std::string, Bucket> buckets_;
+  MetricsRegistry metrics_;
+};
+
+}  // namespace lnic::framework

@@ -1,0 +1,42 @@
+#include "framework/health.h"
+
+namespace lnic::framework {
+
+HealthChecker::HealthChecker(sim::Simulator& sim, net::Network& network,
+                             Gateway& gateway, HealthConfig config)
+    : sim_(sim),
+      gateway_(gateway),
+      config_(config),
+      rpc_(sim, network,
+           proto::RpcConfig{.retransmit_timeout = config.probe_timeout,
+                            .max_retries = 0}),
+      timer_(sim, config.probe_interval, [this] { probe_all(); }) {}
+
+void HealthChecker::watch(NodeId worker,
+                          std::vector<std::uint8_t> probe_payload) {
+  state_[worker] = WorkerState{std::move(probe_payload), 0, false};
+}
+
+void HealthChecker::probe_all() {
+  for (auto& [worker, state] : state_) {
+    if (state.dead) continue;
+    const NodeId target = worker;
+    WorkerState* ws = &state;
+    rpc_.call(target, config_.probe_workload, ws->payload,
+              [this, target, ws](Result<proto::RpcResponse> result) {
+                if (result.ok()) {
+                  ws->consecutive_failures = 0;
+                  return;
+                }
+                if (++ws->consecutive_failures >= config_.max_failures &&
+                    !ws->dead) {
+                  ws->dead = true;
+                  ++removals_;
+                  gateway_.remove_worker(target);
+                  if (on_dead_) on_dead_(target);
+                }
+              });
+  }
+}
+
+}  // namespace lnic::framework

@@ -1,0 +1,68 @@
+// Worker health checking: periodically probes each registered worker
+// with a tiny RPC; after `max_failures` consecutive timeouts the worker
+// is declared dead and removed from every gateway route (the manager or
+// autoscaler re-adds it after recovery). Complements the gateway's
+// per-request failover with proactive detection.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "framework/gateway.h"
+#include "proto/rpc.h"
+#include "sim/simulator.h"
+
+namespace lnic::framework {
+
+struct HealthConfig {
+  SimDuration probe_interval = milliseconds(500);
+  SimDuration probe_timeout = milliseconds(100);
+  std::uint32_t max_failures = 3;
+  /// Workload ID of the probe request (must be routable on the worker;
+  /// kInvalidWorkload probes are counted to the host path but still
+  /// elicit no response, so use a real lambda's ID).
+  WorkloadId probe_workload = 1;
+};
+
+class HealthChecker {
+ public:
+  HealthChecker(sim::Simulator& sim, net::Network& network, Gateway& gateway,
+                HealthConfig config = {});
+
+  /// Registers a worker for probing.
+  void watch(NodeId worker, std::vector<std::uint8_t> probe_payload);
+
+  void start() { timer_.start(); }
+  void stop() { timer_.stop(); }
+
+  bool is_healthy(NodeId worker) const {
+    const auto it = state_.find(worker);
+    return it != state_.end() && !it->second.dead;
+  }
+  std::uint64_t removals() const { return removals_; }
+
+  /// Called when a worker is declared dead (after route removal).
+  void set_on_dead(std::function<void(NodeId)> fn) { on_dead_ = std::move(fn); }
+
+ private:
+  void probe_all();
+
+  struct WorkerState {
+    std::vector<std::uint8_t> payload;
+    std::uint32_t consecutive_failures = 0;
+    bool dead = false;
+  };
+
+  sim::Simulator& sim_;
+  Gateway& gateway_;
+  HealthConfig config_;
+  proto::RpcClient rpc_;
+  sim::PeriodicTimer timer_;
+  std::map<NodeId, WorkerState> state_;
+  std::uint64_t removals_ = 0;
+  std::function<void(NodeId)> on_dead_;
+};
+
+}  // namespace lnic::framework

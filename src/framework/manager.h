@@ -1,0 +1,56 @@
+// Workload manager (Fig. 2): compiles users' Match+Lambda bundles,
+// uploads artifacts to global storage, deploys to backends (recording
+// the Table 4 startup phases), and registers routes — directly with a
+// gateway and/or through the etcd store gateways watch.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "backends/backend.h"
+#include "common/result.h"
+#include "framework/gateway.h"
+#include "framework/storage.h"
+#include "kvstore/etcd.h"
+#include "sim/simulator.h"
+#include "workloads/lambdas.h"
+
+namespace lnic::framework {
+
+/// Result of one deployment: what was installed where, and how long the
+/// backend took to become ready (download + boot, Table 4's axes).
+struct DeploymentRecord {
+  std::string artifact_name;
+  Bytes artifact_bytes = 0;
+  SimDuration startup_time = 0;
+  SimTime ready_at = 0;
+  std::vector<std::pair<std::string, WorkloadId>> functions;
+};
+
+class WorkloadManager {
+ public:
+  WorkloadManager(sim::Simulator& sim, BlobStorage& storage,
+                  kvstore::EtcdStore* etcd = nullptr)
+      : sim_(sim), storage_(storage), etcd_(etcd) {}
+
+  /// Compiles + deploys `bundle` on `backend`, uploads the artifact,
+  /// registers each (name, workload id) with `gateway` (if given) and in
+  /// etcd (if configured). Function names come from the bundle's match
+  /// spec action names.
+  Result<DeploymentRecord> deploy(workloads::WorkloadBundle bundle,
+                                  backends::Backend& backend,
+                                  Gateway* gateway);
+
+  const std::vector<DeploymentRecord>& deployments() const {
+    return deployments_;
+  }
+
+ private:
+  sim::Simulator& sim_;
+  BlobStorage& storage_;
+  kvstore::EtcdStore* etcd_;
+  std::vector<DeploymentRecord> deployments_;
+};
+
+}  // namespace lnic::framework

@@ -1,0 +1,47 @@
+#include "framework/metrics.h"
+
+#include <sstream>
+
+namespace lnic::framework {
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, Counter(name)).first;
+  }
+  return it->second;
+}
+
+double& MetricsRegistry::gauge(const std::string& name) {
+  return gauges_[name];
+}
+
+Sampler& MetricsRegistry::sampler(const std::string& name) {
+  return samplers_[name];
+}
+
+bool MetricsRegistry::has(const std::string& name) const {
+  return counters_.count(name) > 0 || gauges_.count(name) > 0 ||
+         samplers_.count(name) > 0;
+}
+
+std::string MetricsRegistry::render() const {
+  std::ostringstream out;
+  for (const auto& [name, counter] : counters_) {
+    out << name << " " << counter.value() << "\n";
+  }
+  for (const auto& [name, value] : gauges_) {
+    out << name << " " << value << "\n";
+  }
+  for (const auto& [name, sampler] : samplers_) {
+    out << name << "_count " << sampler.count() << "\n";
+    if (!sampler.empty()) {
+      out << name << "_mean " << sampler.mean() << "\n";
+      out << name << "_p50 " << sampler.median() << "\n";
+      out << name << "_p99 " << sampler.p99() << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace lnic::framework

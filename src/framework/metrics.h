@@ -1,0 +1,34 @@
+// Prometheus-style metrics registry (the paper's baseline stack runs a
+// Prometheus-based monitoring engine, §6.1.1). Counters, gauges and
+// samplers are registered by name and rendered in the text exposition
+// format for scraping/inspection.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/stats.h"
+
+namespace lnic::framework {
+
+class MetricsRegistry {
+ public:
+  /// Returns (creating on first use) the named metric.
+  Counter& counter(const std::string& name);
+  double& gauge(const std::string& name);
+  Sampler& sampler(const std::string& name);
+
+  bool has(const std::string& name) const;
+
+  /// Text exposition: one `name value` line per counter/gauge; samplers
+  /// expand to _count/_mean/_p50/_p99 series.
+  std::string render() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Sampler> samplers_;
+};
+
+}  // namespace lnic::framework

@@ -1,0 +1,25 @@
+#include "framework/monitor.h"
+
+namespace lnic::framework {
+
+void Monitor::scrape() {
+  ++scrapes_;
+  for (const auto& [name, backend] : backends_) {
+    metrics_.gauge("backend_completed{node=" + name + "}") =
+        static_cast<double>(backend->completed());
+    const auto usage = backend->usage(sim_.now());
+    metrics_.gauge("backend_host_cpu_pct{node=" + name + "}") =
+        usage.host_cpu_percent;
+    metrics_.gauge("backend_host_mem_mib{node=" + name + "}") =
+        to_mib(usage.host_memory);
+    metrics_.gauge("backend_nic_mem_mib{node=" + name + "}") =
+        to_mib(usage.nic_memory);
+  }
+  if (gateway_ != nullptr) {
+    // Mirror the gateway's counters into the monitor's registry so one
+    // scrape endpoint exposes the whole system.
+    metrics_.gauge("monitor_scrapes") = static_cast<double>(scrapes_);
+  }
+}
+
+}  // namespace lnic::framework

@@ -1,0 +1,46 @@
+// Monitoring engine (§6.1.1: OpenFaaS includes "a Prometheus-based
+// monitoring engine to analyze system state"). Periodically scrapes the
+// registered backends and the gateway into a MetricsRegistry, keeping a
+// time series of gauges (completed requests, busy threads, NIC memory).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "backends/backend.h"
+#include "framework/gateway.h"
+#include "framework/metrics.h"
+#include "sim/simulator.h"
+
+namespace lnic::framework {
+
+class Monitor {
+ public:
+  Monitor(sim::Simulator& sim, SimDuration scrape_interval = seconds(1))
+      : sim_(sim),
+        timer_(sim, scrape_interval, [this] { scrape(); }) {}
+
+  void watch_backend(const std::string& name, backends::Backend* backend) {
+    backends_.emplace_back(name, backend);
+  }
+  void watch_gateway(Gateway* gateway) { gateway_ = gateway; }
+
+  void start() { timer_.start(); }
+  void stop() { timer_.stop(); }
+
+  /// Runs one scrape immediately (also called by the timer).
+  void scrape();
+
+  MetricsRegistry& metrics() { return metrics_; }
+  std::uint64_t scrapes() const { return scrapes_; }
+
+ private:
+  sim::Simulator& sim_;
+  sim::PeriodicTimer timer_;
+  std::vector<std::pair<std::string, backends::Backend*>> backends_;
+  Gateway* gateway_ = nullptr;
+  MetricsRegistry metrics_;
+  std::uint64_t scrapes_ = 0;
+};
+
+}  // namespace lnic::framework

@@ -1,0 +1,51 @@
+// Global artifact storage (Fig. 2: "compiled binaries ... stored in a
+// global storage"). Holds named blobs and models transfer time over the
+// management network; the workload manager uploads compiled artifacts
+// here and workers download them during deployment.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace lnic::framework {
+
+class BlobStorage {
+ public:
+  explicit BlobStorage(double bandwidth_bps = 1e9)
+      : bandwidth_bps_(bandwidth_bps) {}
+
+  void put(const std::string& name, Bytes size) { blobs_[name] = size; }
+  bool contains(const std::string& name) const {
+    return blobs_.count(name) > 0;
+  }
+  Result<Bytes> size_of(const std::string& name) const {
+    const auto it = blobs_.find(name);
+    if (it == blobs_.end()) return make_error("storage: no blob '" + name + "'");
+    return it->second;
+  }
+  /// Simulated time to download the named blob to a worker.
+  Result<SimDuration> transfer_time(const std::string& name) const {
+    const auto size = size_of(name);
+    if (!size.ok()) return size.error();
+    return static_cast<SimDuration>(static_cast<double>(size.value()) * 8.0 /
+                                    bandwidth_bps_ * 1e9);
+  }
+  std::vector<std::string> list() const {
+    std::vector<std::string> names;
+    for (const auto& [name, size] : blobs_) {
+      (void)size;
+      names.push_back(name);
+    }
+    return names;
+  }
+
+ private:
+  double bandwidth_bps_;
+  std::map<std::string, Bytes> blobs_;
+};
+
+}  // namespace lnic::framework

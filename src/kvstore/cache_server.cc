@@ -1,0 +1,88 @@
+#include "kvstore/cache_server.h"
+
+namespace lnic::kvstore {
+
+using net::Packet;
+using net::PacketKind;
+
+CacheServer::CacheServer(sim::Simulator& sim, net::Network& network,
+                         CacheConfig config)
+    : sim_(sim), network_(network), config_(config) {
+  node_ = network_.attach([this](const Packet& p) { handle_packet(p); });
+}
+
+void CacheServer::put(std::uint64_t key, std::uint64_t value) {
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second.value = value;
+    touch(key);
+    return;
+  }
+  if (map_.size() >= config_.capacity) {
+    const std::uint64_t victim = lru_.back();
+    lru_.pop_back();
+    map_.erase(victim);
+    ++stats_.evictions;
+  }
+  lru_.push_front(key);
+  map_.emplace(key, Entry{value, lru_.begin()});
+}
+
+bool CacheServer::get(std::uint64_t key, std::uint64_t& value_out) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  value_out = it->second.value;
+  touch(key);
+  return true;
+}
+
+void CacheServer::touch(std::uint64_t key) {
+  auto it = map_.find(key);
+  lru_.erase(it->second.lru_pos);
+  lru_.push_front(key);
+  it->second.lru_pos = lru_.begin();
+}
+
+void CacheServer::handle_packet(const Packet& packet) {
+  if (packet.kind != PacketKind::kKvRequest) return;
+  std::uint64_t key = 0, value = 0;
+  for (std::size_t i = 0; i < 8 && i < packet.payload.size(); ++i) {
+    key |= static_cast<std::uint64_t>(packet.payload[i]) << (8 * i);
+  }
+  for (std::size_t i = 0; i < 8 && 8 + i < packet.payload.size(); ++i) {
+    value |= static_cast<std::uint64_t>(packet.payload[8 + i]) << (8 * i);
+  }
+
+  const bool is_set = packet.lambda.workload_id == 1;
+  std::uint64_t reply = 0;
+  if (is_set) {
+    put(key, value);
+    ++stats_.sets;
+    reply = value;
+  } else {
+    ++stats_.gets;
+    if (get(key, reply)) {
+      ++stats_.hits;
+    } else {
+      ++stats_.misses;
+      reply = 0;
+    }
+  }
+
+  const SimDuration service =
+      is_set ? config_.set_service : config_.get_service;
+  Packet response;
+  response.src = node_;
+  response.dst = packet.src;
+  response.kind = PacketKind::kKvResponse;
+  response.lambda = packet.lambda;
+  response.payload.resize(8);
+  for (int i = 0; i < 8; ++i) {
+    response.payload[i] = static_cast<std::uint8_t>(reply >> (8 * i));
+  }
+  sim_.schedule(service, [this, response = std::move(response)]() mutable {
+    network_.send(std::move(response));
+  });
+}
+
+}  // namespace lnic::kvstore

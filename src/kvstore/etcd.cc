@@ -1,0 +1,76 @@
+#include "kvstore/etcd.h"
+
+namespace lnic::kvstore {
+
+EtcdStore::EtcdStore(sim::Simulator& sim, std::uint32_t size,
+                     raft::RaftConfig config)
+    : cluster_(sim, size, config), state_(size) {
+  for (raft::NodeIndex i = 0; i < size; ++i) {
+    cluster_.node(i).set_apply_callback(
+        [this, i](std::uint64_t, const raft::Command& cmd) { apply(i, cmd); });
+  }
+}
+
+void EtcdStore::apply(raft::NodeIndex node, const raft::Command& command) {
+  auto& map = state_[node];
+  if (command.op == raft::Command::Op::kPut) {
+    map[command.key] = command.value;
+  } else {
+    map.erase(command.key);
+  }
+  // Watches fire once per commit, from node 0's apply (the watch service
+  // connects to one member).
+  if (node == 0) {
+    for (const auto& [prefix, fn] : watches_) {
+      if (command.key.rfind(prefix, 0) == 0) fn(command.key, command.value);
+    }
+  }
+}
+
+Status EtcdStore::put(const std::string& key, const std::string& value) {
+  raft::RaftNode* leader = cluster_.leader();
+  if (leader == nullptr) return make_error("etcd: no leader elected yet");
+  auto result = leader->propose(
+      raft::Command{raft::Command::Op::kPut, key, value});
+  if (!result.ok()) return result.error();
+  return Status::ok_status();
+}
+
+Status EtcdStore::remove(const std::string& key) {
+  raft::RaftNode* leader = cluster_.leader();
+  if (leader == nullptr) return make_error("etcd: no leader elected yet");
+  auto result =
+      leader->propose(raft::Command{raft::Command::Op::kDelete, key, ""});
+  if (!result.ok()) return result.error();
+  return Status::ok_status();
+}
+
+raft::NodeIndex EtcdStore::read_node(
+    std::optional<raft::NodeIndex> from) const {
+  if (from.has_value()) return *from;
+  raft::RaftNode* leader = cluster_.leader();
+  return leader != nullptr ? leader->index() : 0;
+}
+
+std::optional<std::string> EtcdStore::get(
+    const std::string& key, std::optional<raft::NodeIndex> from) const {
+  const auto& map = state_[read_node(from)];
+  const auto it = map.find(key);
+  if (it == map.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::pair<std::string, std::string>> EtcdStore::list(
+    const std::string& prefix, std::optional<raft::NodeIndex> from) const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& [k, v] : state_[read_node(from)]) {
+    if (k.rfind(prefix, 0) == 0) out.emplace_back(k, v);
+  }
+  return out;
+}
+
+void EtcdStore::watch(const std::string& prefix, WatchFn fn) {
+  watches_.emplace_back(prefix, std::move(fn));
+}
+
+}  // namespace lnic::kvstore

@@ -1,0 +1,66 @@
+// etcd-like replicated key-value store on Raft (§6.1.1).
+//
+// The serverless framework keeps lambda placement, scaling and load-
+// balancing state here ("number of active lambdas, their placement and
+// load balancing policies", §6.1.1) and the gateway watches it to route
+// requests. Each Raft node applies committed commands to its local map;
+// puts go through the current leader; watches fire on apply at the node
+// that registered them.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "raft/raft.h"
+
+namespace lnic::kvstore {
+
+/// Fires after a put/delete on a watched key prefix commits.
+using WatchFn =
+    std::function<void(const std::string& key, const std::string& value)>;
+
+class EtcdStore {
+ public:
+  /// Builds a `size`-node Raft cluster over the given simulator.
+  EtcdStore(sim::Simulator& sim, std::uint32_t size,
+            raft::RaftConfig config = {});
+
+  /// Must run (and the simulator must advance past an election) before
+  /// puts succeed.
+  void start() { cluster_.start(); }
+
+  /// Proposes a put through the leader. Fails when no leader is known;
+  /// callers retry after advancing the simulation (as real etcd clients
+  /// retry after leader changes).
+  Status put(const std::string& key, const std::string& value);
+  Status remove(const std::string& key);
+
+  /// Reads the applied state at node `from` (default: leader if any,
+  /// else node 0).
+  std::optional<std::string> get(const std::string& key,
+                                 std::optional<raft::NodeIndex> from = {}) const;
+
+  /// All applied keys with the given prefix, at the same read node.
+  std::vector<std::pair<std::string, std::string>> list(
+      const std::string& prefix,
+      std::optional<raft::NodeIndex> from = {}) const;
+
+  /// Watches a key prefix; fires on every committed change (the paper's
+  /// Watch Service, Fig. 5).
+  void watch(const std::string& prefix, WatchFn fn);
+
+  raft::Cluster& cluster() { return cluster_; }
+
+ private:
+  void apply(raft::NodeIndex node, const raft::Command& command);
+  raft::NodeIndex read_node(std::optional<raft::NodeIndex> from) const;
+
+  mutable raft::Cluster cluster_;
+  std::vector<std::map<std::string, std::string>> state_;  // per node
+  std::vector<std::pair<std::string, WatchFn>> watches_;
+};
+
+}  // namespace lnic::kvstore

@@ -1,0 +1,90 @@
+// Abstract syntax tree for the Micro-C frontend.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lnic::microc::ast {
+
+// ----------------------------------------------------------- expressions
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind : std::uint8_t {
+  kNumber,     // literal
+  kVariable,   // named scalar
+  kBinary,     // lhs op rhs
+  kUnary,      // -expr / !expr
+  kCall,       // builtin or user function call
+};
+
+struct Expr {
+  ExprKind kind = ExprKind::kNumber;
+  std::uint32_t line = 1;
+
+  std::uint64_t number = 0;          // kNumber
+  std::string name;                  // kVariable / kCall (callee)
+  std::string op;                    // kBinary / kUnary
+  ExprPtr lhs, rhs;                  // kBinary (lhs,rhs) / kUnary (lhs)
+  std::vector<ExprPtr> args;         // kCall
+};
+
+// ------------------------------------------------------------ statements
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind : std::uint8_t {
+  kVarDecl,    // var x = expr;
+  kAssign,     // x = expr;   (also +=, -=, *= sugar)
+  kIf,         // if (cond) {..} [else {..}]
+  kWhile,      // while (cond) {..}
+  kFor,        // for (init; cond; step) {..}  — sugar over while
+  kReturn,     // return expr;
+  kExpr,       // expr;  (side-effecting builtin call)
+};
+
+struct Stmt {
+  StmtKind kind = StmtKind::kExpr;
+  std::uint32_t line = 1;
+
+  std::string name;                  // kVarDecl / kAssign target
+  ExprPtr value;                     // initializer / assigned / returned /
+                                     // condition / bare expression
+  std::vector<StmtPtr> then_body;    // kIf then / kWhile / kFor body
+  std::vector<StmtPtr> else_body;    // kIf else
+  StmtPtr init;                      // kFor initializer
+  StmtPtr step;                      // kFor step
+};
+
+// ------------------------------------------------------------- top level
+
+/// `global u8 name[size] [hot|cold] [readmostly|writemostly];`
+struct ObjectDecl {
+  std::string name;
+  std::uint64_t size = 0;
+  bool is_global = true;
+  bool hot = false;
+  bool cold = false;
+  bool read_mostly = false;
+  bool write_mostly = false;
+  std::uint32_t line = 1;
+};
+
+/// `int name(param, ...) { ... }`
+struct FunctionDecl {
+  std::string name;
+  std::vector<std::string> params;
+  std::vector<StmtPtr> body;
+  std::uint32_t line = 1;
+};
+
+struct TranslationUnit {
+  std::vector<ObjectDecl> objects;
+  std::vector<FunctionDecl> functions;
+};
+
+}  // namespace lnic::microc::ast

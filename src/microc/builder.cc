@@ -1,0 +1,228 @@
+#include "microc/builder.h"
+
+#include <algorithm>
+
+namespace lnic::microc {
+
+FunctionBuilder::FunctionBuilder(ProgramBuilder& program, std::string name,
+                                 std::uint16_t num_args)
+    : program_(program), num_args_(num_args), next_reg_(num_args) {
+  fn_.name = std::move(name);
+  fn_.num_args = num_args;
+  fn_.blocks.emplace_back();  // entry block
+}
+
+Reg FunctionBuilder::reg() { return Reg{next_reg_++}; }
+
+std::uint32_t FunctionBuilder::block() {
+  fn_.blocks.emplace_back();
+  current_ = static_cast<std::uint32_t>(fn_.blocks.size() - 1);
+  return current_;
+}
+
+void FunctionBuilder::select_block(std::uint32_t index) {
+  assert(index < fn_.blocks.size());
+  current_ = index;
+}
+
+Instr& FunctionBuilder::emit(Instr instr) {
+  assert(!finished_);
+  auto& block = fn_.blocks[current_];
+  block.instrs.push_back(instr);
+  return block.instrs.back();
+}
+
+Reg FunctionBuilder::const_u64(std::uint64_t v) {
+  Reg d = reg();
+  emit({.op = Opcode::kConst, .dst = d.index,
+        .imm = static_cast<std::int64_t>(v)});
+  return d;
+}
+Reg FunctionBuilder::mov(Reg a) {
+  Reg d = reg();
+  emit({.op = Opcode::kMov, .dst = d.index, .a = a.index});
+  return d;
+}
+void FunctionBuilder::mov_to(Reg dst, Reg src) {
+  emit({.op = Opcode::kMov, .dst = dst.index, .a = src.index});
+}
+
+#define LNIC_BINOP(method, OP)                                          \
+  Reg FunctionBuilder::method(Reg a, Reg b) {                           \
+    Reg d = reg();                                                      \
+    emit({.op = Opcode::OP, .dst = d.index, .a = a.index, .b = b.index}); \
+    return d;                                                           \
+  }
+LNIC_BINOP(add, kAdd)
+LNIC_BINOP(sub, kSub)
+LNIC_BINOP(mul, kMul)
+LNIC_BINOP(divu, kDivU)
+LNIC_BINOP(remu, kRemU)
+LNIC_BINOP(and_, kAnd)
+LNIC_BINOP(or_, kOr)
+LNIC_BINOP(xor_, kXor)
+LNIC_BINOP(shl, kShl)
+LNIC_BINOP(shr, kShr)
+LNIC_BINOP(fxmul, kFxMul)
+LNIC_BINOP(cmp_eq, kCmpEq)
+LNIC_BINOP(cmp_ne, kCmpNe)
+LNIC_BINOP(cmp_ltu, kCmpLtU)
+LNIC_BINOP(cmp_leu, kCmpLeU)
+#undef LNIC_BINOP
+
+Reg FunctionBuilder::add_imm(Reg a, std::int64_t imm) {
+  Reg d = reg();
+  emit({.op = Opcode::kAddImm, .dst = d.index, .a = a.index, .imm = imm});
+  return d;
+}
+Reg FunctionBuilder::mul_imm(Reg a, std::int64_t imm) {
+  Reg d = reg();
+  emit({.op = Opcode::kMulImm, .dst = d.index, .a = a.index, .imm = imm});
+  return d;
+}
+Reg FunctionBuilder::cmp_eq_imm(Reg a, std::int64_t imm) {
+  Reg d = reg();
+  emit({.op = Opcode::kCmpEqImm, .dst = d.index, .a = a.index, .imm = imm});
+  return d;
+}
+
+Reg FunctionBuilder::load_hdr(HeaderField field) {
+  Reg d = reg();
+  emit({.op = Opcode::kLoadHdr, .dst = d.index, .imm = field});
+  return d;
+}
+Reg FunctionBuilder::load_body(Reg offset, std::int64_t imm) {
+  Reg d = reg();
+  emit({.op = Opcode::kLoadBody, .dst = d.index, .a = offset.index,
+        .imm = imm});
+  return d;
+}
+Reg FunctionBuilder::body_len() {
+  Reg d = reg();
+  emit({.op = Opcode::kBodyLen, .dst = d.index});
+  return d;
+}
+Reg FunctionBuilder::load_match(std::uint16_t index) {
+  Reg d = reg();
+  emit({.op = Opcode::kLoadMatch, .dst = d.index, .imm = index});
+  return d;
+}
+
+Reg FunctionBuilder::load(std::uint16_t obj, Reg offset, std::int64_t disp,
+                          std::uint8_t width) {
+  Reg d = reg();
+  emit({.op = Opcode::kLoad, .dst = d.index, .a = offset.index, .imm = disp,
+        .obj = obj, .width = width});
+  return d;
+}
+void FunctionBuilder::store(std::uint16_t obj, Reg offset, Reg value,
+                            std::int64_t disp, std::uint8_t width) {
+  emit({.op = Opcode::kStore, .a = offset.index, .b = value.index,
+        .imm = disp, .obj = obj, .width = width});
+}
+
+void FunctionBuilder::resp_byte(Reg value) {
+  emit({.op = Opcode::kRespByte, .a = value.index});
+}
+void FunctionBuilder::resp_word(Reg value) {
+  emit({.op = Opcode::kRespWord, .a = value.index});
+}
+void FunctionBuilder::resp_mem(std::uint16_t obj, Reg offset, Reg length) {
+  emit({.op = Opcode::kRespMem, .a = offset.index, .b = length.index,
+        .obj = obj});
+}
+
+void FunctionBuilder::memcpy_(std::uint16_t dst_obj, Reg dst_off,
+                              std::uint16_t src_obj, Reg src_off, Reg length) {
+  emit({.op = Opcode::kMemCpy, .dst = dst_off.index, .a = src_off.index,
+        .b = length.index, .obj = dst_obj, .obj2 = src_obj});
+}
+void FunctionBuilder::grayscale(std::uint16_t dst_obj, Reg dst_off,
+                                std::uint16_t src_obj, Reg src_off,
+                                Reg pixel_count) {
+  emit({.op = Opcode::kGrayscale, .dst = dst_off.index, .a = src_off.index,
+        .b = pixel_count.index, .obj = dst_obj, .obj2 = src_obj});
+}
+Reg FunctionBuilder::hash(std::uint16_t obj, Reg offset, Reg length) {
+  Reg d = reg();
+  emit({.op = Opcode::kHash, .dst = d.index, .a = offset.index,
+        .b = length.index, .obj = obj});
+  return d;
+}
+void FunctionBuilder::body_copy(std::uint16_t dst_obj, Reg dst_off,
+                                Reg body_off, Reg length) {
+  emit({.op = Opcode::kBodyCopy, .dst = dst_off.index, .a = body_off.index,
+        .b = length.index, .obj = dst_obj});
+}
+
+Reg FunctionBuilder::ext_call(std::int64_t kind, Reg key, Reg value) {
+  Reg d = reg();
+  emit({.op = Opcode::kExtCall, .dst = d.index, .a = key.index,
+        .b = value.index, .imm = kind});
+  return d;
+}
+
+void FunctionBuilder::br(std::uint32_t target) {
+  emit({.op = Opcode::kBr, .imm = target});
+}
+void FunctionBuilder::br_if(Reg cond, std::uint32_t if_true,
+                            std::uint32_t if_false) {
+  emit({.op = Opcode::kBrIf, .a = cond.index, .b =
+            static_cast<std::uint16_t>(if_false),
+        .imm = if_true});
+}
+Reg FunctionBuilder::call(std::uint32_t function, const std::vector<Reg>& args) {
+  assert(args.size() <= 4);
+  // Arguments must be contiguous registers starting at args[0]; the
+  // builder copies them into fresh contiguous registers to guarantee it.
+  Reg first{0};
+  if (!args.empty()) {
+    std::vector<Reg> contiguous;
+    contiguous.reserve(args.size());
+    for (Reg a : args) contiguous.push_back(mov(a));
+    first = contiguous.front();
+  }
+  Reg d = reg();
+  emit({.op = Opcode::kCall, .dst = d.index, .a = first.index,
+        .b = static_cast<std::uint16_t>(args.size()),
+        .imm = static_cast<std::int64_t>(function)});
+  return d;
+}
+void FunctionBuilder::ret(Reg value) {
+  emit({.op = Opcode::kRet, .a = value.index});
+}
+void FunctionBuilder::ret_imm(std::uint64_t value) {
+  Reg v = const_u64(value);
+  ret(v);
+}
+
+std::uint32_t FunctionBuilder::finish() {
+  assert(!finished_);
+  finished_ = true;
+  fn_.num_regs = std::max<std::uint16_t>(next_reg_, 1);
+  program_.program_.functions.push_back(std::move(fn_));
+  return static_cast<std::uint32_t>(program_.program_.functions.size() - 1);
+}
+
+std::uint16_t ProgramBuilder::object(std::string name, Bytes size,
+                                     MemScope scope, AccessPattern access,
+                                     PlacementHint hint) {
+  MemObject obj;
+  obj.name = std::move(name);
+  obj.size = size;
+  obj.scope = scope;
+  obj.access = access;
+  obj.hint = hint;
+  obj.region = MemRegion::kEmem;  // naïve layout until stratification
+  program_.objects.push_back(std::move(obj));
+  return static_cast<std::uint16_t>(program_.objects.size() - 1);
+}
+
+void ProgramBuilder::parse_field(HeaderField field) {
+  auto& fields = program_.parsed_fields;
+  if (std::find(fields.begin(), fields.end(), field) == fields.end()) {
+    fields.push_back(field);
+  }
+}
+
+}  // namespace lnic::microc

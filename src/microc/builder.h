@@ -1,0 +1,140 @@
+// Fluent construction API for Micro-C IR.
+//
+// Workload authors (src/workloads) use FunctionBuilder to write lambdas
+// the way Listing 2 writes Micro-C: straight-line code with loops,
+// header access, memory objects, and response emission. ProgramBuilder
+// assembles lambdas + helpers + objects into a Program (the match-stage
+// dispatcher is generated later by the workload manager from P4 specs).
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "microc/ir.h"
+
+namespace lnic::microc {
+
+/// A register handle; just an index, typed for readability.
+struct Reg {
+  std::uint16_t index = 0;
+};
+
+class ProgramBuilder;
+
+class FunctionBuilder {
+ public:
+  FunctionBuilder(ProgramBuilder& program, std::string name,
+                  std::uint16_t num_args);
+
+  /// Allocates a fresh register.
+  Reg reg();
+  /// The i-th argument register.
+  Reg arg(std::uint16_t i) const {
+    assert(i < num_args_);
+    return Reg{i};
+  }
+
+  /// Starts a new basic block and returns its index. Instructions are
+  /// appended to the most recently started block.
+  std::uint32_t block();
+  /// Switches the append cursor to an existing block.
+  void select_block(std::uint32_t index);
+  std::uint32_t current_block() const { return current_; }
+
+  // -- Instruction emitters (each returns the destination register). --
+  Reg const_u64(std::uint64_t v);
+  Reg mov(Reg a);
+  /// Copies `src` into an existing register (mutable-variable writes in
+  /// the Micro-C frontend; ordinary emitters always allocate fresh dsts).
+  void mov_to(Reg dst, Reg src);
+  Reg add(Reg a, Reg b);
+  Reg sub(Reg a, Reg b);
+  Reg mul(Reg a, Reg b);
+  Reg divu(Reg a, Reg b);
+  Reg remu(Reg a, Reg b);
+  Reg and_(Reg a, Reg b);
+  Reg or_(Reg a, Reg b);
+  Reg xor_(Reg a, Reg b);
+  Reg shl(Reg a, Reg b);
+  Reg shr(Reg a, Reg b);
+  Reg add_imm(Reg a, std::int64_t imm);
+  Reg mul_imm(Reg a, std::int64_t imm);
+  Reg fxmul(Reg a, Reg b);
+  Reg cmp_eq(Reg a, Reg b);
+  Reg cmp_ne(Reg a, Reg b);
+  Reg cmp_ltu(Reg a, Reg b);
+  Reg cmp_leu(Reg a, Reg b);
+  Reg cmp_eq_imm(Reg a, std::int64_t imm);
+
+  Reg load_hdr(HeaderField field);
+  Reg load_body(Reg offset, std::int64_t imm = 0);
+  Reg body_len();
+  Reg load_match(std::uint16_t index);
+
+  Reg load(std::uint16_t obj, Reg offset, std::int64_t disp = 0,
+           std::uint8_t width = 8);
+  void store(std::uint16_t obj, Reg offset, Reg value, std::int64_t disp = 0,
+             std::uint8_t width = 8);
+
+  void resp_byte(Reg value);
+  void resp_word(Reg value);
+  void resp_mem(std::uint16_t obj, Reg offset, Reg length);
+
+  void memcpy_(std::uint16_t dst_obj, Reg dst_off, std::uint16_t src_obj,
+               Reg src_off, Reg length);
+  void grayscale(std::uint16_t dst_obj, Reg dst_off, std::uint16_t src_obj,
+                 Reg src_off, Reg pixel_count);
+  Reg hash(std::uint16_t obj, Reg offset, Reg length);
+  void body_copy(std::uint16_t dst_obj, Reg dst_off, Reg body_off, Reg length);
+
+  /// External KV call: kind 0 = GET(key), 1 = SET(key, value).
+  Reg ext_call(std::int64_t kind, Reg key, Reg value);
+
+  void br(std::uint32_t target);
+  void br_if(Reg cond, std::uint32_t if_true, std::uint32_t if_false);
+  Reg call(std::uint32_t function, const std::vector<Reg>& args);
+  void ret(Reg value);
+  void ret_imm(std::uint64_t value);
+
+  /// Finalizes the function into the program; returns its index.
+  std::uint32_t finish();
+
+ private:
+  Instr& emit(Instr instr);
+
+  ProgramBuilder& program_;
+  Function fn_;
+  std::uint16_t num_args_;
+  std::uint16_t next_reg_;
+  std::uint32_t current_ = 0;
+  bool finished_ = false;
+};
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name) { program_.name = std::move(name); }
+
+  /// Declares a memory object; returns its index for load/store emitters.
+  std::uint16_t object(std::string name, Bytes size, MemScope scope,
+                       AccessPattern access = AccessPattern::kReadWrite,
+                       PlacementHint hint = PlacementHint::kNone);
+
+  FunctionBuilder function(std::string name, std::uint16_t num_args) {
+    return FunctionBuilder(*this, std::move(name), num_args);
+  }
+
+  void parse_field(HeaderField field);
+
+  Program& program() { return program_; }
+  const Program& program() const { return program_; }
+
+  /// Moves the finished program out of the builder.
+  Program take() { return std::move(program_); }
+
+ private:
+  friend class FunctionBuilder;
+  Program program_;
+};
+
+}  // namespace lnic::microc

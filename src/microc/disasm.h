@@ -1,0 +1,22 @@
+// Human-readable IR disassembly: what `nfp-objdump` gives Netronome
+// developers, this gives λ-NIC developers — per-function basic-block
+// listings with object placements and lowered sizes. Used by tooling,
+// debugging and the documentation examples.
+#pragma once
+
+#include <string>
+
+#include "microc/ir.h"
+
+namespace lnic::microc {
+
+/// One instruction, e.g. "add r3, r1, r2" or "load.4 r5, image_buf[r2+8]".
+std::string disassemble(const Instr& instr, const Program& program);
+
+/// A whole function with block labels.
+std::string disassemble(const Function& fn, const Program& program);
+
+/// The full program: objects (with placement), parser fields, functions.
+std::string disassemble(const Program& program);
+
+}  // namespace lnic::microc

@@ -1,0 +1,512 @@
+#include "microc/frontend.h"
+
+#include <map>
+#include <optional>
+
+#include "microc/builder.h"
+#include "microc/lexer.h"
+#include "microc/parser.h"
+#include "microc/verify.h"
+
+namespace lnic::microc {
+
+namespace {
+
+using ast::Expr;
+using ast::ExprKind;
+using ast::Stmt;
+using ast::StmtKind;
+
+std::optional<HeaderField> header_field_by_name(const std::string& name) {
+  static const std::map<std::string, HeaderField> kFields = {
+      {"workload_id", kHdrWorkloadId},   {"request_id", kHdrRequestId},
+      {"src_node", kHdrSrcNode},         {"op", kHdrOp},
+      {"key", kHdrKey},                  {"value", kHdrValue},
+      {"body_len", kHdrBodyLen},         {"image_width", kHdrImageWidth},
+      {"image_height", kHdrImageHeight},
+  };
+  const auto it = kFields.find(name);
+  if (it == kFields.end()) return std::nullopt;
+  return it->second;
+}
+
+class Codegen {
+ public:
+  explicit Codegen(const ast::TranslationUnit& unit, std::string name)
+      : unit_(unit), pb_(std::move(name)) {}
+
+  Result<Program> run() {
+    // Objects first so functions can reference them.
+    for (const auto& obj : unit_.objects) {
+      AccessPattern access = AccessPattern::kReadWrite;
+      if (obj.read_mostly) access = AccessPattern::kReadMostly;
+      if (obj.write_mostly) access = AccessPattern::kWriteMostly;
+      PlacementHint hint = PlacementHint::kNone;
+      if (obj.hot) hint = PlacementHint::kHot;
+      if (obj.cold) hint = PlacementHint::kCold;
+      if (objects_.count(obj.name)) {
+        return fail(obj.line, "duplicate object '" + obj.name + "'");
+      }
+      objects_[obj.name] = pb_.object(
+          obj.name, obj.size,
+          obj.is_global ? MemScope::kGlobal : MemScope::kLocal, access, hint);
+    }
+    // Pre-assign function indices so forward calls resolve. The builder
+    // appends in order, so indices are predictable.
+    for (std::size_t i = 0; i < unit_.functions.size(); ++i) {
+      const auto& fn = unit_.functions[i];
+      if (functions_.count(fn.name)) {
+        return fail(fn.line, "duplicate function '" + fn.name + "'");
+      }
+      functions_[fn.name] = {static_cast<std::uint32_t>(i),
+                             static_cast<std::uint16_t>(fn.params.size())};
+    }
+    for (const auto& fn : unit_.functions) {
+      if (Status st = emit_function(fn); !st.ok()) return st.error();
+    }
+    Program program = pb_.take();
+    if (Status st = verify(program); !st.ok()) return st.error();
+    return program;
+  }
+
+ private:
+  struct FnInfo {
+    std::uint32_t index;
+    std::uint16_t arity;
+  };
+
+  Error fail(std::uint32_t line, const std::string& what) {
+    return make_error("microc: line " + std::to_string(line) + ": " + what);
+  }
+
+  Status emit_function(const ast::FunctionDecl& decl) {
+    FunctionBuilder fb = pb_.function(
+        decl.name, static_cast<std::uint16_t>(decl.params.size()));
+    fb_ = &fb;
+    vars_.clear();
+    for (std::size_t i = 0; i < decl.params.size(); ++i) {
+      vars_[decl.params[i]] = fb.arg(static_cast<std::uint16_t>(i));
+    }
+    bool returned = false;
+    if (Status st = emit_block(decl.body, returned); !st.ok()) return st;
+    if (!returned) fb.ret_imm(0);  // implicit `return 0;`
+    fb.finish();
+    fb_ = nullptr;
+    return Status::ok_status();
+  }
+
+  // Emits statements into the current block; `returned` reports whether
+  // the block ends in a return on all paths taken so far.
+  Status emit_block(const std::vector<ast::StmtPtr>& stmts, bool& returned) {
+    for (const auto& stmt : stmts) {
+      if (returned) {
+        return fail(stmt->line, "unreachable statement after return");
+      }
+      if (Status st = emit_stmt(*stmt, returned); !st.ok()) return st;
+    }
+    return Status::ok_status();
+  }
+
+  Status emit_stmt(const Stmt& stmt, bool& returned) {
+    FunctionBuilder& fb = *fb_;
+    switch (stmt.kind) {
+      case StmtKind::kVarDecl: {
+        if (vars_.count(stmt.name)) {
+          return fail(stmt.line, "redeclared variable '" + stmt.name + "'");
+        }
+        auto value = emit_expr(*stmt.value);
+        if (!value.ok()) return value.error();
+        // Bind the variable to a dedicated register so loop-carried
+        // assignments work across blocks.
+        Reg slot = fb.mov(value.value());
+        vars_[stmt.name] = slot;
+        return Status::ok_status();
+      }
+      case StmtKind::kAssign: {
+        const auto it = vars_.find(stmt.name);
+        if (it == vars_.end()) {
+          return fail(stmt.line, "assignment to undeclared '" + stmt.name + "'");
+        }
+        auto value = emit_expr(*stmt.value);
+        if (!value.ok()) return value.error();
+        fb.mov_to(it->second, value.value());
+        return Status::ok_status();
+      }
+      case StmtKind::kReturn: {
+        auto value = emit_expr(*stmt.value);
+        if (!value.ok()) return value.error();
+        fb.ret(value.value());
+        returned = true;
+        return Status::ok_status();
+      }
+      case StmtKind::kExpr: {
+        auto value = emit_expr(*stmt.value);
+        if (!value.ok()) return value.error();
+        return Status::ok_status();
+      }
+      case StmtKind::kIf: {
+        auto cond = emit_expr(*stmt.value);
+        if (!cond.ok()) return cond.error();
+        const auto entry = fb.current_block();
+        const auto then_block = fb.block();
+        const auto else_block = fb.block();
+        const auto join = fb.block();
+        fb.select_block(entry);
+        fb.br_if(cond.value(), then_block, else_block);
+
+        fb.select_block(then_block);
+        bool then_returned = false;
+        if (Status st = emit_block(stmt.then_body, then_returned); !st.ok()) {
+          return st;
+        }
+        if (!then_returned) fb.br(join);
+
+        fb.select_block(else_block);
+        bool else_returned = false;
+        if (Status st = emit_block(stmt.else_body, else_returned); !st.ok()) {
+          return st;
+        }
+        if (!else_returned) fb.br(join);
+
+        fb.select_block(join);
+        returned = then_returned && else_returned;
+        if (returned) {
+          // Join is unreachable but every block needs a terminator;
+          // DCE removes it later.
+          fb.ret_imm(0);
+        }
+        return Status::ok_status();
+      }
+      case StmtKind::kFor: {
+        // Desugar: init; while (cond) { body; step; }
+        if (Status st = emit_stmt(*stmt.init, returned); !st.ok()) return st;
+        const auto entry = fb.current_block();
+        const auto header = fb.block();
+        const auto body = fb.block();
+        const auto exit = fb.block();
+        fb.select_block(entry);
+        fb.br(header);
+        fb.select_block(header);
+        auto cond = emit_expr(*stmt.value);
+        if (!cond.ok()) return cond.error();
+        fb.br_if(cond.value(), body, exit);
+        fb.select_block(body);
+        bool body_returned = false;
+        if (Status st = emit_block(stmt.then_body, body_returned); !st.ok()) {
+          return st;
+        }
+        if (!body_returned) {
+          bool step_returned = false;
+          if (Status st = emit_stmt(*stmt.step, step_returned); !st.ok()) {
+            return st;
+          }
+          fb.br(header);
+        }
+        fb.select_block(exit);
+        return Status::ok_status();
+      }
+      case StmtKind::kWhile: {
+        const auto entry = fb.current_block();
+        const auto header = fb.block();
+        const auto body = fb.block();
+        const auto exit = fb.block();
+        fb.select_block(entry);
+        fb.br(header);
+        fb.select_block(header);
+        auto cond = emit_expr(*stmt.value);
+        if (!cond.ok()) return cond.error();
+        fb.br_if(cond.value(), body, exit);
+        fb.select_block(body);
+        bool body_returned = false;
+        if (Status st = emit_block(stmt.then_body, body_returned); !st.ok()) {
+          return st;
+        }
+        if (!body_returned) fb.br(header);
+        fb.select_block(exit);
+        return Status::ok_status();
+      }
+    }
+    return fail(stmt.line, "unhandled statement");
+  }
+
+  Result<Reg> emit_expr(const Expr& expr) {
+    FunctionBuilder& fb = *fb_;
+    switch (expr.kind) {
+      case ExprKind::kNumber:
+        return fb.const_u64(expr.number);
+      case ExprKind::kVariable: {
+        const auto it = vars_.find(expr.name);
+        if (it == vars_.end()) {
+          return fail(expr.line, "unknown variable '" + expr.name + "'");
+        }
+        return it->second;
+      }
+      case ExprKind::kUnary: {
+        auto operand = emit_expr(*expr.lhs);
+        if (!operand.ok()) return operand;
+        if (expr.op == "-") {
+          return fb.sub(fb.const_u64(0), operand.value());
+        }
+        // !x  ->  x == 0
+        return fb.cmp_eq_imm(operand.value(), 0);
+      }
+      case ExprKind::kBinary: {
+        auto lhs = emit_expr(*expr.lhs);
+        if (!lhs.ok()) return lhs;
+        auto rhs = emit_expr(*expr.rhs);
+        if (!rhs.ok()) return rhs;
+        const Reg a = lhs.value();
+        const Reg b = rhs.value();
+        if (expr.op == "+") return fb.add(a, b);
+        if (expr.op == "-") return fb.sub(a, b);
+        if (expr.op == "*") return fb.mul(a, b);
+        if (expr.op == "/") return fb.divu(a, b);
+        if (expr.op == "%") return fb.remu(a, b);
+        if (expr.op == "&") return fb.and_(a, b);
+        if (expr.op == "|") return fb.or_(a, b);
+        if (expr.op == "^") return fb.xor_(a, b);
+        if (expr.op == "<<") return fb.shl(a, b);
+        if (expr.op == ">>") return fb.shr(a, b);
+        if (expr.op == "==") return fb.cmp_eq(a, b);
+        if (expr.op == "!=") return fb.cmp_ne(a, b);
+        if (expr.op == "<") return fb.cmp_ltu(a, b);
+        if (expr.op == "<=") return fb.cmp_leu(a, b);
+        if (expr.op == ">") return fb.cmp_ltu(b, a);
+        if (expr.op == ">=") return fb.cmp_leu(b, a);
+        return fail(expr.line, "unknown operator '" + expr.op + "'");
+      }
+      case ExprKind::kCall:
+        return emit_call(expr);
+    }
+    return fail(expr.line, "unhandled expression");
+  }
+
+  Result<Reg> emit_call(const Expr& expr) {
+    FunctionBuilder& fb = *fb_;
+    const std::string& name = expr.name;
+    auto want = [&](std::size_t n) -> Status {
+      if (expr.args.size() != n) {
+        return fail(expr.line, name + " expects " + std::to_string(n) +
+                                   " argument(s)");
+      }
+      return Status::ok_status();
+    };
+    auto arg = [&](std::size_t i) { return emit_expr(*expr.args[i]); };
+    auto object_arg = [&](std::size_t i) -> Result<std::uint16_t> {
+      const Expr& e = *expr.args[i];
+      if (e.kind != ExprKind::kVariable || !objects_.count(e.name)) {
+        return fail(e.line, name + ": argument " + std::to_string(i + 1) +
+                                " must be a declared memory object");
+      }
+      return objects_.at(e.name);
+    };
+
+    // -- header / request context --------------------------------------
+    if (name == "hdr") {
+      if (Status st = want(1); !st.ok()) return st.error();
+      const Expr& field = *expr.args[0];
+      if (field.kind != ExprKind::kVariable) {
+        return fail(field.line, "hdr() takes a field name");
+      }
+      const auto hf = header_field_by_name(field.name);
+      if (!hf.has_value()) {
+        return fail(field.line, "unknown header field '" + field.name + "'");
+      }
+      return fb.load_hdr(*hf);
+    }
+    if (name == "body") {
+      if (Status st = want(1); !st.ok()) return st.error();
+      auto off = arg(0);
+      if (!off.ok()) return off;
+      return fb.load_body(off.value());
+    }
+    if (name == "body_len") {
+      if (Status st = want(0); !st.ok()) return st.error();
+      return fb.body_len();
+    }
+    if (name == "match") {
+      if (Status st = want(1); !st.ok()) return st.error();
+      const Expr& idx = *expr.args[0];
+      if (idx.kind != ExprKind::kNumber) {
+        return fail(idx.line, "match() takes a literal index");
+      }
+      return fb.load_match(static_cast<std::uint16_t>(idx.number));
+    }
+
+    // -- memory ---------------------------------------------------------
+    for (const auto& [fn_name, width] :
+         {std::pair{"load1", 1}, {"load2", 2}, {"load4", 4}, {"load8", 8}}) {
+      if (name == fn_name) {
+        if (Status st = want(2); !st.ok()) return st.error();
+        auto obj = object_arg(0);
+        if (!obj.ok()) return obj.error();
+        auto off = arg(1);
+        if (!off.ok()) return off;
+        return fb.load(obj.value(), off.value(), 0,
+                       static_cast<std::uint8_t>(width));
+      }
+    }
+    for (const auto& [fn_name, width] :
+         {std::pair{"store1", 1}, {"store2", 2}, {"store4", 4},
+          {"store8", 8}}) {
+      if (name == fn_name) {
+        if (Status st = want(3); !st.ok()) return st.error();
+        auto obj = object_arg(0);
+        if (!obj.ok()) return obj.error();
+        auto off = arg(1);
+        if (!off.ok()) return off;
+        auto value = arg(2);
+        if (!value.ok()) return value;
+        fb.store(obj.value(), off.value(), value.value(), 0,
+                 static_cast<std::uint8_t>(width));
+        return fb.const_u64(0);
+      }
+    }
+    if (name == "memcpy") {
+      if (Status st = want(5); !st.ok()) return st.error();
+      auto dst = object_arg(0);
+      if (!dst.ok()) return dst.error();
+      auto doff = arg(1);
+      if (!doff.ok()) return doff;
+      auto src = object_arg(2);
+      if (!src.ok()) return src.error();
+      auto soff = arg(3);
+      if (!soff.ok()) return soff;
+      auto len = arg(4);
+      if (!len.ok()) return len;
+      fb.memcpy_(dst.value(), doff.value(), src.value(), soff.value(),
+                 len.value());
+      return fb.const_u64(0);
+    }
+    if (name == "gray") {
+      if (Status st = want(5); !st.ok()) return st.error();
+      auto dst = object_arg(0);
+      if (!dst.ok()) return dst.error();
+      auto doff = arg(1);
+      if (!doff.ok()) return doff;
+      auto src = object_arg(2);
+      if (!src.ok()) return src.error();
+      auto soff = arg(3);
+      if (!soff.ok()) return soff;
+      auto px = arg(4);
+      if (!px.ok()) return px;
+      fb.grayscale(dst.value(), doff.value(), src.value(), soff.value(),
+                   px.value());
+      return fb.const_u64(0);
+    }
+    if (name == "hash") {
+      if (Status st = want(3); !st.ok()) return st.error();
+      auto obj = object_arg(0);
+      if (!obj.ok()) return obj.error();
+      auto off = arg(1);
+      if (!off.ok()) return off;
+      auto len = arg(2);
+      if (!len.ok()) return len;
+      return fb.hash(obj.value(), off.value(), len.value());
+    }
+    if (name == "body_copy") {
+      if (Status st = want(4); !st.ok()) return st.error();
+      auto obj = object_arg(0);
+      if (!obj.ok()) return obj.error();
+      auto doff = arg(1);
+      if (!doff.ok()) return doff;
+      auto boff = arg(2);
+      if (!boff.ok()) return boff;
+      auto len = arg(3);
+      if (!len.ok()) return len;
+      fb.body_copy(obj.value(), doff.value(), boff.value(), len.value());
+      return fb.const_u64(0);
+    }
+
+    // -- external calls / response / misc -------------------------------
+    if (name == "kv_get") {
+      if (Status st = want(1); !st.ok()) return st.error();
+      auto key = arg(0);
+      if (!key.ok()) return key;
+      return fb.ext_call(0, key.value(), fb.const_u64(0));
+    }
+    if (name == "kv_set") {
+      if (Status st = want(2); !st.ok()) return st.error();
+      auto key = arg(0);
+      if (!key.ok()) return key;
+      auto value = arg(1);
+      if (!value.ok()) return value;
+      return fb.ext_call(1, key.value(), value.value());
+    }
+    if (name == "resp_byte") {
+      if (Status st = want(1); !st.ok()) return st.error();
+      auto v = arg(0);
+      if (!v.ok()) return v;
+      fb.resp_byte(v.value());
+      return fb.const_u64(0);
+    }
+    if (name == "resp_word") {
+      if (Status st = want(1); !st.ok()) return st.error();
+      auto v = arg(0);
+      if (!v.ok()) return v;
+      fb.resp_word(v.value());
+      return fb.const_u64(0);
+    }
+    if (name == "resp_mem") {
+      if (Status st = want(3); !st.ok()) return st.error();
+      auto obj = object_arg(0);
+      if (!obj.ok()) return obj.error();
+      auto off = arg(1);
+      if (!off.ok()) return off;
+      auto len = arg(2);
+      if (!len.ok()) return len;
+      fb.resp_mem(obj.value(), off.value(), len.value());
+      return fb.const_u64(0);
+    }
+    if (name == "fxmul") {
+      if (Status st = want(2); !st.ok()) return st.error();
+      auto a = arg(0);
+      if (!a.ok()) return a;
+      auto b = arg(1);
+      if (!b.ok()) return b;
+      return fb.fxmul(a.value(), b.value());
+    }
+
+    // -- user functions ---------------------------------------------------
+    const auto it = functions_.find(name);
+    if (it == functions_.end()) {
+      return fail(expr.line, "unknown function or builtin '" + name + "'");
+    }
+    if (expr.args.size() != it->second.arity) {
+      return fail(expr.line, "'" + name + "' expects " +
+                                 std::to_string(it->second.arity) +
+                                 " argument(s)");
+    }
+    if (expr.args.size() > 4) {
+      return fail(expr.line, "at most 4 call arguments supported");
+    }
+    std::vector<Reg> args;
+    for (std::size_t i = 0; i < expr.args.size(); ++i) {
+      auto a = arg(i);
+      if (!a.ok()) return a;
+      args.push_back(a.value());
+    }
+    return fb.call(it->second.index, args);
+  }
+
+  const ast::TranslationUnit& unit_;
+  ProgramBuilder pb_;
+  FunctionBuilder* fb_ = nullptr;
+  std::map<std::string, std::uint16_t> objects_;
+  std::map<std::string, FnInfo> functions_;
+  std::map<std::string, Reg> vars_;
+};
+
+}  // namespace
+
+Result<Program> compile_microc(const std::string& source,
+                               const std::string& program_name) {
+  auto tokens = lex(source);
+  if (!tokens.ok()) return tokens.error();
+  auto unit = parse(tokens.value());
+  if (!unit.ok()) return unit.error();
+  Codegen codegen(unit.value(), program_name);
+  return codegen.run();
+}
+
+}  // namespace lnic::microc

@@ -1,0 +1,55 @@
+// Micro-C frontend: compiles lambda source text into IR (paper §4.1,
+// Listings 1-2). This is the user-facing path of the Match+Lambda
+// workflow — the workload manager feeds the result to the compiler
+// pipeline and P4 lowering exactly as it does for builder-authored
+// lambdas.
+//
+// Accepted language (one translation unit = one or more lambdas):
+//
+//   // Memory objects in the flat address space (D2). Pragmas guide
+//   // memory stratification (§5.1).
+//   global u8 content[1024] hot readmostly;
+//   local  u8 scratch[64];
+//
+//   int web_server() {            // a top-level lambda (Listing 1)
+//     var page = hdr(op) & 3;     // parsed-header access
+//     var off = page * 256;
+//     var digest = hash(content, off, 256);
+//     if (digest == 0) { return 1; }
+//     var i = 0;
+//     while (i < 4) { i = i + 1; }
+//     resp_mem(content, off, 256);
+//     return 0;
+//   }
+//
+//   int helper(x) { return x * 7; }   // callable helpers
+//
+// Builtins:
+//   hdr(<field>)  field ∈ {workload_id, request_id, src_node, op, key,
+//                 value, body_len, image_width, image_height}
+//   body(i), body_len(), match(i)
+//   load1/2/4/8(obj, off), store1/2/4/8(obj, off, v)
+//   memcpy(dst, doff, src, soff, len), gray(dst, doff, src, soff, px)
+//   hash(obj, off, len), body_copy(obj, doff, boff, len)
+//   kv_get(key), kv_set(key, value)              (kExtCall, D3)
+//   resp_byte(v), resp_word(v), resp_mem(obj, off, len)
+//   fxmul(a, b)
+//
+// All scalars are unsigned 64-bit; there are no pointers, floats,
+// recursion or dynamic allocation — the feature set NPUs lack (§3.1b).
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "microc/ir.h"
+
+namespace lnic::microc {
+
+/// Compiles Micro-C source into a Program containing the declared
+/// objects and functions (no match stage; pair it with a p4::MatchSpec
+/// and run compiler::compile as usual).
+Result<Program> compile_microc(const std::string& source,
+                               const std::string& program_name = "microc");
+
+}  // namespace lnic::microc

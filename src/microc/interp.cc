@@ -1,0 +1,474 @@
+#include "microc/interp.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace lnic::microc {
+
+namespace {
+constexpr std::size_t kMaxCallDepth = 16;     // NPUs do not support recursion
+constexpr std::size_t kMaxResponse = 32ull << 20;
+
+std::uint64_t fnv1a(const std::uint8_t* data, std::size_t len) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+}  // namespace
+
+CostModel CostModel::npu() {
+  CostModel m;
+  m.frequency_hz = 633e6;
+  m.runtime_factor = 1.0;
+  m.region_read = {1, 30, 90, 150};
+  m.region_write = {1, 30, 90, 150};
+  m.bulk_divisor = 4;   // NFP bulk DMA engines
+  m.ext_call_cycles = 60;
+  return m;
+}
+
+CostModel CostModel::host_native() {
+  CostModel m;
+  m.frequency_hz = 2.0e9;  // Xeon Gold 5117 base clock (§6.1.2)
+  m.runtime_factor = 1.0;
+  // Caches flatten the hierarchy; everything looks ~L2-resident.
+  m.region_read = {1, 1, 2, 4};
+  m.region_write = {1, 1, 2, 4};
+  m.bulk_divisor = 16;  // SIMD copy/convert loops
+  m.ext_call_cycles = 400;  // socket write through libc
+  return m;
+}
+
+CostModel CostModel::host_python() {
+  CostModel m = host_native();
+  // The baseline backends run lambdas behind a Python service (§6.1.1,
+  // footnote 7): CPython costs ~400x per scalar op (each IR op lowers to
+  // several bytecodes at ~100-200 ns each) and ~85x on bulk loops (the
+  // paper's lambdas iterate per pixel/word in Python).
+  m.runtime_factor = 400.0;
+  m.bulk_factor = 85.0;
+  return m;
+}
+
+void ObjectStore::reset(const Program& program) {
+  data_.assign(program.objects.size(), {});
+  for (std::size_t i = 0; i < program.objects.size(); ++i) {
+    const MemObject& obj = program.objects[i];
+    if (obj.scope == MemScope::kGlobal) {
+      data_[i].assign(obj.size, 0);
+      const auto n = std::min<std::size_t>(obj.initial_data.size(), obj.size);
+      std::memcpy(data_[i].data(), obj.initial_data.data(), n);
+    }
+  }
+}
+
+Bytes ObjectStore::total_bytes() const {
+  Bytes total = 0;
+  for (const auto& d : data_) total += d.size();
+  return total;
+}
+
+Machine::Machine(const Program& program, const CostModel& cost,
+                 ObjectStore* globals)
+    : program_(program), cost_(cost), globals_(globals) {}
+
+std::uint32_t Machine::read_cost(std::size_t obj) const {
+  return cost_.region_read[static_cast<int>(program_.objects[obj].region)];
+}
+std::uint32_t Machine::write_cost(std::size_t obj) const {
+  return cost_.region_write[static_cast<int>(program_.objects[obj].region)];
+}
+
+std::vector<std::uint8_t>* Machine::object_bytes(std::size_t index) {
+  if (index >= program_.objects.size()) return nullptr;
+  if (program_.objects[index].scope == MemScope::kGlobal) {
+    if (globals_ == nullptr) return nullptr;
+    return &globals_->data(index);
+  }
+  return &locals_[index];
+}
+
+bool Machine::load_bytes(std::size_t obj, std::uint64_t offset,
+                         std::uint8_t width, std::uint64_t& out) {
+  auto* bytes = object_bytes(obj);
+  if (bytes == nullptr || offset + width > bytes->size()) {
+    trap_ = "out-of-bounds load from object '" + program_.objects[obj].name +
+            "' at offset " + std::to_string(offset);
+    return false;
+  }
+  out = 0;
+  std::memcpy(&out, bytes->data() + offset, width);
+  return true;
+}
+
+bool Machine::store_bytes(std::size_t obj, std::uint64_t offset,
+                          std::uint8_t width, std::uint64_t value) {
+  auto* bytes = object_bytes(obj);
+  if (bytes == nullptr || offset + width > bytes->size()) {
+    trap_ = "out-of-bounds store to object '" + program_.objects[obj].name +
+            "' at offset " + std::to_string(offset);
+    return false;
+  }
+  std::memcpy(bytes->data() + offset, &value, width);
+  return true;
+}
+
+Outcome Machine::run(const Invocation& invocation) {
+  // Parser stage: one extraction per parsed field (§4.1).
+  Outcome out = run_function(program_.dispatch_function, invocation);
+  return out;
+}
+
+Outcome Machine::run_function(std::size_t function_index,
+                              const Invocation& invocation) {
+  assert(function_index < program_.functions.size());
+  invocation_ = &invocation;
+  suspended_ = false;
+  trap_.clear();
+  response_.clear();
+  cycles_ = 0;
+  bulk_cycles_ = 0;
+  instructions_ = 0;
+
+  // Charge the generated parser (header identification + extraction).
+  cycles_ += cost_.hdr_cycles * program_.parsed_fields.size();
+
+  locals_.assign(program_.objects.size(), {});
+  for (std::size_t i = 0; i < program_.objects.size(); ++i) {
+    const MemObject& obj = program_.objects[i];
+    if (obj.scope == MemScope::kLocal) {
+      locals_[i].assign(obj.size, 0);
+      const auto n = std::min<std::size_t>(obj.initial_data.size(), obj.size);
+      std::memcpy(locals_[i].data(), obj.initial_data.data(), n);
+    }
+  }
+
+  stack_.clear();
+  Frame frame;
+  frame.fn = static_cast<std::uint32_t>(function_index);
+  frame.regs.assign(program_.functions[function_index].num_regs, 0);
+  stack_.push_back(std::move(frame));
+  return execute();
+}
+
+Outcome Machine::resume(std::uint64_t reply) {
+  assert(suspended_);
+  suspended_ = false;
+  // The kExtCall instruction was left pending; deliver the reply into its
+  // dst register and step past it.
+  Frame& frame = stack_.back();
+  const Instr& in = program_.functions[frame.fn]
+                        .blocks[frame.block]
+                        .instrs[frame.instr];
+  assert(in.op == Opcode::kExtCall);
+  frame.regs[in.dst] = reply;
+  ++frame.instr;
+  return execute();
+}
+
+void Machine::abort() {
+  suspended_ = false;
+  stack_.clear();
+  invocation_ = nullptr;
+}
+
+Outcome Machine::trap(const std::string& message) {
+  Outcome out;
+  out.state = RunState::kTrap;
+  out.trap_message = message;
+  out.cycles = scaled_cycles();
+  out.instructions = instructions_;
+  stack_.clear();
+  suspended_ = false;
+  return out;
+}
+
+Outcome Machine::finish(std::uint64_t return_value) {
+  Outcome out;
+  out.state = RunState::kDone;
+  out.return_value = return_value;
+  out.response = std::move(response_);
+  out.cycles = scaled_cycles();
+  out.instructions = instructions_;
+  stack_.clear();
+  suspended_ = false;
+  return out;
+}
+
+Outcome Machine::execute() {
+  const Invocation& inv = *invocation_;
+  while (true) {
+    if (cycles_ > fuel_) return trap("fuel exhausted (compute limit)");
+    Frame& frame = stack_.back();
+    const Function& fn = program_.functions[frame.fn];
+    const BasicBlock& block = fn.blocks[frame.block];
+    if (frame.instr >= block.instrs.size()) {
+      return trap("fell off the end of a block in '" + fn.name + "'");
+    }
+    const Instr& in = block.instrs[frame.instr];
+    auto& regs = frame.regs;
+    ++instructions_;
+
+    switch (in.op) {
+      case Opcode::kConst:
+        regs[in.dst] = static_cast<std::uint64_t>(in.imm);
+        charge(cost_.alu_cycles);
+        break;
+      case Opcode::kMov:
+        regs[in.dst] = regs[in.a];
+        charge(cost_.alu_cycles);
+        break;
+      case Opcode::kAdd: regs[in.dst] = regs[in.a] + regs[in.b]; charge(cost_.alu_cycles); break;
+      case Opcode::kSub: regs[in.dst] = regs[in.a] - regs[in.b]; charge(cost_.alu_cycles); break;
+      case Opcode::kMul: regs[in.dst] = regs[in.a] * regs[in.b]; charge(cost_.alu_cycles); break;
+      case Opcode::kDivU:
+        if (regs[in.b] == 0) return trap("division by zero");
+        regs[in.dst] = regs[in.a] / regs[in.b];
+        charge(cost_.alu_cycles * 8);  // iterative divide on NPUs
+        break;
+      case Opcode::kRemU:
+        if (regs[in.b] == 0) return trap("remainder by zero");
+        regs[in.dst] = regs[in.a] % regs[in.b];
+        charge(cost_.alu_cycles * 8);
+        break;
+      case Opcode::kAnd: regs[in.dst] = regs[in.a] & regs[in.b]; charge(cost_.alu_cycles); break;
+      case Opcode::kOr: regs[in.dst] = regs[in.a] | regs[in.b]; charge(cost_.alu_cycles); break;
+      case Opcode::kXor: regs[in.dst] = regs[in.a] ^ regs[in.b]; charge(cost_.alu_cycles); break;
+      case Opcode::kShl: regs[in.dst] = regs[in.a] << (regs[in.b] & 63); charge(cost_.alu_cycles); break;
+      case Opcode::kShr: regs[in.dst] = regs[in.a] >> (regs[in.b] & 63); charge(cost_.alu_cycles); break;
+      case Opcode::kAddImm:
+        regs[in.dst] = regs[in.a] + static_cast<std::uint64_t>(in.imm);
+        charge(cost_.alu_cycles);
+        break;
+      case Opcode::kMulImm:
+        regs[in.dst] = regs[in.a] * static_cast<std::uint64_t>(in.imm);
+        charge(cost_.alu_cycles);
+        break;
+      case Opcode::kFxMul: {
+        // Q16.16 multiply (fixed-point substitute for float, §3.1b).
+        const std::int64_t a = static_cast<std::int32_t>(regs[in.a]);
+        const std::int64_t b = static_cast<std::int32_t>(regs[in.b]);
+        regs[in.dst] = static_cast<std::uint64_t>(
+            static_cast<std::uint32_t>((a * b) >> 16));
+        charge(cost_.alu_cycles * 2);
+        break;
+      }
+      case Opcode::kCmpEq: regs[in.dst] = regs[in.a] == regs[in.b]; charge(cost_.alu_cycles); break;
+      case Opcode::kCmpNe: regs[in.dst] = regs[in.a] != regs[in.b]; charge(cost_.alu_cycles); break;
+      case Opcode::kCmpLtU: regs[in.dst] = regs[in.a] < regs[in.b]; charge(cost_.alu_cycles); break;
+      case Opcode::kCmpLeU: regs[in.dst] = regs[in.a] <= regs[in.b]; charge(cost_.alu_cycles); break;
+      case Opcode::kCmpEqImm:
+        regs[in.dst] = regs[in.a] == static_cast<std::uint64_t>(in.imm);
+        charge(cost_.alu_cycles);
+        break;
+      case Opcode::kSelect:
+        regs[in.dst] = regs[in.a] ? regs[in.b]
+                                  : regs[static_cast<std::uint16_t>(in.imm)];
+        charge(cost_.alu_cycles * 2);
+        break;
+
+      case Opcode::kLoadHdr:
+        regs[in.dst] = inv.headers.fields[static_cast<std::size_t>(in.imm)];
+        charge(cost_.hdr_cycles);
+        break;
+      case Opcode::kLoadBody: {
+        const std::uint64_t off =
+            regs[in.a] + static_cast<std::uint64_t>(in.imm);
+        if (off >= inv.body.size()) return trap("request body read past end");
+        regs[in.dst] = inv.body[off];
+        charge(cost_.body_cycles);
+        break;
+      }
+      case Opcode::kBodyLen:
+        regs[in.dst] = inv.body.size();
+        charge(cost_.alu_cycles);
+        break;
+      case Opcode::kLoadMatch: {
+        const auto idx = static_cast<std::size_t>(in.imm);
+        if (idx >= inv.match_data.size()) return trap("match_data out of range");
+        regs[in.dst] = inv.match_data[idx];
+        charge(cost_.hdr_cycles);
+        break;
+      }
+
+      case Opcode::kLoad: {
+        std::uint64_t v = 0;
+        if (!load_bytes(in.obj, regs[in.a] + static_cast<std::uint64_t>(in.imm),
+                        in.width, v)) {
+          return trap(trap_);
+        }
+        regs[in.dst] = v;
+        charge(cost_.alu_cycles + read_cost(in.obj));
+        break;
+      }
+      case Opcode::kStore:
+        if (!store_bytes(in.obj, regs[in.a] + static_cast<std::uint64_t>(in.imm),
+                         in.width, regs[in.b])) {
+          return trap(trap_);
+        }
+        charge(cost_.alu_cycles + write_cost(in.obj));
+        break;
+
+      case Opcode::kRespByte:
+        if (response_.size() >= kMaxResponse) return trap("response too large");
+        response_.push_back(static_cast<std::uint8_t>(regs[in.a]));
+        charge(cost_.body_cycles);
+        break;
+      case Opcode::kRespWord: {
+        if (response_.size() + 8 > kMaxResponse) return trap("response too large");
+        std::uint64_t v = regs[in.a];
+        for (int i = 0; i < 8; ++i) {
+          response_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+        }
+        charge(cost_.body_cycles);
+        break;
+      }
+      case Opcode::kRespMem: {
+        auto* bytes = object_bytes(in.obj);
+        const std::uint64_t off = regs[in.a];
+        const std::uint64_t len = regs[in.b];
+        if (bytes == nullptr || off + len > bytes->size()) {
+          return trap("response copy out of bounds");
+        }
+        if (response_.size() + len > kMaxResponse) return trap("response too large");
+        response_.insert(response_.end(), bytes->begin() + static_cast<std::ptrdiff_t>(off),
+                         bytes->begin() + static_cast<std::ptrdiff_t>(off + len));
+        const std::uint64_t words = (len + 7) / 8;
+        charge(cost_.alu_cycles);
+        charge_bulk(words * read_cost(in.obj) / cost_.bulk_divisor + words);
+        break;
+      }
+
+      case Opcode::kMemCpy: {
+        auto* dst = object_bytes(in.obj);
+        auto* src = object_bytes(in.obj2);
+        const std::uint64_t doff = regs[in.dst];
+        const std::uint64_t soff = regs[in.a];
+        const std::uint64_t len = regs[in.b];
+        if (dst == nullptr || src == nullptr || doff + len > dst->size() ||
+            soff + len > src->size()) {
+          return trap("memcpy out of bounds");
+        }
+        std::memmove(dst->data() + doff, src->data() + soff, len);
+        const std::uint64_t words = (len + 7) / 8;
+        charge(cost_.alu_cycles);
+        charge_bulk(words * (read_cost(in.obj2) + write_cost(in.obj)) /
+                        cost_.bulk_divisor +
+                    words);
+        break;
+      }
+      case Opcode::kGrayscale: {
+        // RGBA8888 -> 8-bit luma with integer weights (no FPU, §3.1b):
+        // y = (77 R + 150 G + 29 B) >> 8.
+        auto* dst = object_bytes(in.obj);
+        auto* src = object_bytes(in.obj2);
+        const std::uint64_t doff = regs[in.dst];
+        const std::uint64_t soff = regs[in.a];
+        const std::uint64_t pixels = regs[in.b];
+        if (dst == nullptr || src == nullptr || soff + pixels * 4 > src->size() ||
+            doff + pixels > dst->size()) {
+          return trap("grayscale out of bounds");
+        }
+        for (std::uint64_t i = 0; i < pixels; ++i) {
+          const std::uint8_t* p = src->data() + soff + i * 4;
+          (*dst)[doff + i] = static_cast<std::uint8_t>(
+              (77u * p[0] + 150u * p[1] + 29u * p[2]) >> 8);
+        }
+        charge(cost_.alu_cycles);
+        charge_bulk(pixels * (read_cost(in.obj2) + write_cost(in.obj)) /
+                        cost_.bulk_divisor +
+                    pixels * 6 * cost_.alu_cycles);
+        break;
+      }
+      case Opcode::kHash: {
+        auto* bytes = object_bytes(in.obj);
+        const std::uint64_t off = regs[in.a];
+        const std::uint64_t len = regs[in.b];
+        if (bytes == nullptr || off + len > bytes->size()) {
+          return trap("hash out of bounds");
+        }
+        regs[in.dst] = fnv1a(bytes->data() + off, len);
+        const std::uint64_t words = (len + 7) / 8;
+        charge(cost_.alu_cycles);
+        charge_bulk(words * (read_cost(in.obj) + 2 * cost_.alu_cycles));
+        break;
+      }
+      case Opcode::kBodyCopy: {
+        auto* dst = object_bytes(in.obj);
+        const std::uint64_t doff = regs[in.dst];
+        const std::uint64_t boff = regs[in.a];
+        const std::uint64_t len = regs[in.b];
+        if (dst == nullptr || boff + len > inv.body.size() ||
+            doff + len > dst->size()) {
+          return trap("body copy out of bounds");
+        }
+        std::memcpy(dst->data() + doff, inv.body.data() + boff, len);
+        const std::uint64_t words = (len + 7) / 8;
+        charge(cost_.alu_cycles);
+        charge_bulk(words * (cost_.body_cycles / 4 + write_cost(in.obj)) /
+                        cost_.bulk_divisor +
+                    words);
+        break;
+      }
+
+      case Opcode::kExtCall: {
+        Outcome out;
+        out.state = RunState::kYield;
+        out.ext.kind = in.imm;
+        out.ext.key = regs[in.a];
+        out.ext.value = regs[in.b];
+        charge(cost_.ext_call_cycles);
+        out.cycles = scaled_cycles();
+        out.instructions = instructions_;
+        suspended_ = true;
+        // Leave frame.instr pointing at the kExtCall; resume() steps past.
+        return out;
+      }
+
+      case Opcode::kBr:
+        frame.block = static_cast<std::uint32_t>(in.imm);
+        frame.instr = 0;
+        charge(cost_.branch_cycles);
+        continue;
+      case Opcode::kBrIf:
+        frame.block = regs[in.a] != 0 ? static_cast<std::uint32_t>(in.imm)
+                                      : in.b;
+        frame.instr = 0;
+        charge(cost_.branch_cycles);
+        continue;
+      case Opcode::kCall: {
+        if (stack_.size() >= kMaxCallDepth) {
+          return trap("call depth limit (recursion unsupported on NPUs)");
+        }
+        const auto callee_index = static_cast<std::uint32_t>(in.imm);
+        const Function& callee = program_.functions[callee_index];
+        Frame next;
+        next.fn = callee_index;
+        next.ret_dst = in.dst;
+        next.regs.assign(callee.num_regs, 0);
+        for (std::uint16_t i = 0; i < in.b; ++i) {
+          next.regs[i] = regs[in.a + i];
+        }
+        charge(cost_.call_cycles);
+        ++frame.instr;  // return lands after the call
+        stack_.push_back(std::move(next));
+        continue;
+      }
+      case Opcode::kRet: {
+        const std::uint64_t value = regs[in.a];
+        const std::uint16_t ret_dst = frame.ret_dst;
+        charge(cost_.branch_cycles);
+        stack_.pop_back();
+        if (stack_.empty()) return finish(value);
+        stack_.back().regs[ret_dst] = value;
+        continue;
+      }
+    }
+    ++frame.instr;
+  }
+}
+
+}  // namespace lnic::microc

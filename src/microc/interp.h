@@ -1,0 +1,191 @@
+// Micro-C interpreter with cycle accounting.
+//
+// The same IR executes on every backend; what differs is the CostModel —
+// NPU cores (633 MHz, far-memory latencies, hardware bulk engines) versus
+// host CPUs (2 GHz, cache-friendly, but behind an interpreted language
+// runtime for the bare-metal/container backends, §6.1.1). Each invocation
+// yields a byte-accurate response payload *and* the cycle count that the
+// simulation converts into service time, so compiler optimizations
+// (§5.1) and memory placement (D2) change measured latency exactly as on
+// the real NIC.
+//
+// kExtCall suspends the machine (paper D3: lambdas issue RPCs to external
+// services); the backend performs the call over the simulated network and
+// resume()s with the reply.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "microc/ir.h"
+
+namespace lnic::microc {
+
+/// Per-backend execution cost parameters.
+struct CostModel {
+  double frequency_hz = 633e6;  // NPU core clock (§6.1.2)
+  /// Multiplier on scalar instruction costs, modelling the language
+  /// runtime in front of the workload (the paper's host backends run a
+  /// Python service; λ-NIC runs native firmware). 1 = native.
+  double runtime_factor = 1.0;
+  /// Multiplier on bulk intrinsic costs (memcpy/grayscale/hash inner
+  /// loops). Pure-Python pixel loops pay close to runtime_factor; C
+  /// library calls pay ~1. The paper's lambdas loop in Python.
+  double bulk_factor = 1.0;
+
+  std::uint32_t alu_cycles = 1;
+  std::uint32_t branch_cycles = 1;
+  std::uint32_t call_cycles = 5;
+  std::uint32_t hdr_cycles = 1;     // pre-parsed header access
+  std::uint32_t body_cycles = 8;    // packet-buffer (CTM) byte access
+  std::uint32_t ext_call_cycles = 60;  // build/send the outgoing RPC
+
+  /// Cycles per access by MemRegion (indexed by static_cast<int>).
+  std::array<std::uint32_t, 4> region_read{1, 30, 90, 150};
+  std::array<std::uint32_t, 4> region_write{1, 30, 90, 150};
+
+  /// Bulk-transfer divisor for kMemCpy/kGrayscale memory traffic (DMA
+  /// engines on the NIC, SIMD on hosts).
+  std::uint32_t bulk_divisor = 4;
+
+  /// ASIC-based SmartNIC NPU core (Netronome Agilio CX-like).
+  static CostModel npu();
+  /// Host CPU running native code.
+  static CostModel host_native();
+  /// Host CPU behind the OpenFaaS-style Python service (§6.1.1).
+  static CostModel host_python();
+
+  SimDuration cycles_to_duration(std::uint64_t cycles) const {
+    return static_cast<SimDuration>(static_cast<double>(cycles) /
+                                    frequency_hz * 1e9);
+  }
+};
+
+/// Pre-parsed header values handed to the lambda (EXTRACTED_HEADERS_T).
+struct HeaderValues {
+  std::array<std::uint64_t, kHdrFieldCount> fields{};
+};
+
+/// One request to a deployed program.
+struct Invocation {
+  HeaderValues headers;
+  std::vector<std::uint8_t> body;        // request payload / RDMA region
+  std::vector<std::uint64_t> match_data; // MATCH_DATA_T
+};
+
+/// External call emitted by kExtCall. kind: 0 = GET, 1 = SET.
+struct ExtRequest {
+  std::int64_t kind = 0;
+  std::uint64_t key = 0;
+  std::uint64_t value = 0;
+};
+
+enum class RunState { kDone, kYield, kTrap };
+
+struct Outcome {
+  RunState state = RunState::kTrap;
+  std::uint64_t return_value = 0;         // valid when kDone
+  std::vector<std::uint8_t> response;     // deparse-stage payload
+  std::uint64_t cycles = 0;               // cumulative, incl. runtime_factor
+  std::uint64_t instructions = 0;         // dynamic instruction count
+  ExtRequest ext;                         // valid when kYield
+  std::string trap_message;               // valid when kTrap
+};
+
+/// Persistent global-object storage for one deployed program instance
+/// ("global objects persist state across runs", §4.1). Local-scope
+/// objects get fresh zeroed backing per invocation inside the Machine.
+class ObjectStore {
+ public:
+  ObjectStore() = default;
+  explicit ObjectStore(const Program& program) { reset(program); }
+  void reset(const Program& program);
+  std::vector<std::uint8_t>& data(std::size_t object_index) {
+    return data_[object_index];
+  }
+  const std::vector<std::uint8_t>& data(std::size_t object_index) const {
+    return data_[object_index];
+  }
+  Bytes total_bytes() const;
+
+ private:
+  std::vector<std::vector<std::uint8_t>> data_;
+};
+
+class Machine {
+ public:
+  /// `globals` may be null when the program declares no global objects.
+  Machine(const Program& program, const CostModel& cost, ObjectStore* globals);
+
+  /// Starts an invocation at the program's dispatch (match-stage)
+  /// function. Charges the parser cost for program.parsed_fields.
+  Outcome run(const Invocation& invocation);
+
+  /// Starts at an explicit function (unit tests, direct lambda calls).
+  Outcome run_function(std::size_t function_index,
+                       const Invocation& invocation);
+
+  /// Continues after a kYield outcome; `reply` lands in the kExtCall dst.
+  Outcome resume(std::uint64_t reply);
+
+  /// Aborts a suspended invocation (e.g. external call timed out).
+  void abort();
+
+  bool suspended() const { return suspended_; }
+
+  /// Cycle budget per invocation; exceeding it traps (runaway guard;
+  /// serverless workloads have strict compute limits, §2.1).
+  void set_fuel(std::uint64_t cycles) { fuel_ = cycles; }
+
+  const CostModel& cost_model() const { return cost_; }
+
+ private:
+  struct Frame {
+    std::uint32_t fn = 0;
+    std::uint32_t block = 0;
+    std::uint32_t instr = 0;
+    std::uint16_t ret_dst = 0;  // caller register receiving the return value
+    std::vector<std::uint64_t> regs;
+  };
+
+  Outcome execute();
+  Outcome trap(const std::string& message);
+  Outcome finish(std::uint64_t return_value);
+
+  // Memory access helpers; return false (and set trap_) on bounds errors.
+  std::vector<std::uint8_t>* object_bytes(std::size_t index);
+  bool load_bytes(std::size_t obj, std::uint64_t offset, std::uint8_t width,
+                  std::uint64_t& out);
+  bool store_bytes(std::size_t obj, std::uint64_t offset, std::uint8_t width,
+                   std::uint64_t value);
+  void charge(std::uint64_t cycles) { cycles_ += cycles; }
+  void charge_bulk(std::uint64_t cycles) { bulk_cycles_ += cycles; }
+  std::uint64_t scaled_cycles() const {
+    return static_cast<std::uint64_t>(
+        static_cast<double>(cycles_) * cost_.runtime_factor +
+        static_cast<double>(bulk_cycles_) * cost_.bulk_factor);
+  }
+  std::uint32_t read_cost(std::size_t obj) const;
+  std::uint32_t write_cost(std::size_t obj) const;
+
+  const Program& program_;
+  CostModel cost_;
+  ObjectStore* globals_;
+
+  // Invocation state.
+  const Invocation* invocation_ = nullptr;
+  std::vector<std::vector<std::uint8_t>> locals_;  // per local-scope object
+  std::vector<Frame> stack_;
+  std::vector<std::uint8_t> response_;
+  std::uint64_t cycles_ = 0;       // scalar instruction cycles
+  std::uint64_t bulk_cycles_ = 0;  // intrinsic inner-loop cycles
+  std::uint64_t instructions_ = 0;
+  std::uint64_t fuel_ = 1ull << 40;
+  bool suspended_ = false;
+  std::string trap_;
+};
+
+}  // namespace lnic::microc

@@ -1,0 +1,138 @@
+#include "microc/lexer.h"
+
+#include <cctype>
+#include <set>
+
+namespace lnic::microc {
+
+namespace {
+const std::set<std::string> kKeywords = {
+    "int", "var", "if", "else", "while", "for", "return",
+    "global", "local", "u8", "hot", "cold", "readmostly", "writemostly",
+};
+bool is_ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool is_ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+}  // namespace
+
+Result<std::vector<Token>> lex(const std::string& source) {
+  std::vector<Token> tokens;
+  std::uint32_t line = 1;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/')) {
+        if (source[i] == '\n') ++line;
+        ++i;
+      }
+      if (i + 1 >= n) {
+        return make_error("lex: unterminated block comment at line " +
+                          std::to_string(line));
+      }
+      i += 2;
+      continue;
+    }
+    // Identifiers / keywords.
+    if (is_ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && is_ident_char(source[j])) ++j;
+      Token t;
+      t.text = source.substr(i, j - i);
+      t.kind = kKeywords.count(t.text) ? TokenKind::kKeyword
+                                       : TokenKind::kIdentifier;
+      t.line = line;
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    // Numbers (decimal or 0x hex).
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      int base = 10;
+      if (c == '0' && j + 1 < n && (source[j + 1] == 'x' || source[j + 1] == 'X')) {
+        base = 16;
+        j += 2;
+      }
+      std::uint64_t value = 0;
+      const std::size_t digits_start = j;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(source[j])) ||
+                       (base == 16 &&
+                        std::isxdigit(static_cast<unsigned char>(source[j]))))) {
+        const char d = source[j];
+        const std::uint64_t digit =
+            d <= '9' ? static_cast<std::uint64_t>(d - '0')
+                     : static_cast<std::uint64_t>(std::tolower(d) - 'a' + 10);
+        value = value * base + digit;
+        ++j;
+      }
+      if (j == digits_start) {
+        return make_error("lex: malformed number at line " +
+                          std::to_string(line));
+      }
+      Token t;
+      t.kind = TokenKind::kNumber;
+      t.text = source.substr(i, j - i);
+      t.number = value;
+      t.line = line;
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    // Two-character operators.
+    auto push_op = [&](const std::string& text, std::size_t advance) {
+      Token t;
+      t.kind = TokenKind::kOperator;
+      t.text = text;
+      t.line = line;
+      tokens.push_back(std::move(t));
+      i += advance;
+    };
+    if (i + 1 < n) {
+      const std::string two = source.substr(i, 2);
+      if (two == "<<" || two == ">>" || two == "==" || two == "!=" ||
+          two == "<=" || two == ">=") {
+        push_op(two, 2);
+        continue;
+      }
+    }
+    if (std::string("+-*/%&|^<>=!").find(c) != std::string::npos) {
+      push_op(std::string(1, c), 1);
+      continue;
+    }
+    if (std::string("(){}[],;").find(c) != std::string::npos) {
+      Token t;
+      t.kind = TokenKind::kPunct;
+      t.text = std::string(1, c);
+      t.line = line;
+      tokens.push_back(std::move(t));
+      ++i;
+      continue;
+    }
+    return make_error("lex: unexpected character '" + std::string(1, c) +
+                      "' at line " + std::to_string(line));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.line = line;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace lnic::microc

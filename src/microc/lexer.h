@@ -1,0 +1,33 @@
+// Lexer for the restricted Micro-C source language (paper §4.1: "users
+// provide one or more lambdas written in a restricted C-like language,
+// called Micro-C"). See frontend.h for the accepted grammar.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace lnic::microc {
+
+enum class TokenKind : std::uint8_t {
+  kIdentifier,
+  kNumber,
+  kKeyword,     // int var if else while return global local u8 hot cold ...
+  kPunct,       // ( ) { } [ ] , ;
+  kOperator,    // + - * / % & | ^ << >> == != < <= > >= = !
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  std::uint64_t number = 0;   // valid for kNumber
+  std::uint32_t line = 1;
+};
+
+/// Tokenizes Micro-C source; // and /* */ comments are skipped.
+Result<std::vector<Token>> lex(const std::string& source);
+
+}  // namespace lnic::microc

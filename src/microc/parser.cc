@@ -1,0 +1,406 @@
+#include "microc/parser.h"
+
+#include <array>
+#include <optional>
+
+namespace lnic::microc {
+
+namespace {
+
+using ast::Expr;
+using ast::ExprKind;
+using ast::ExprPtr;
+using ast::Stmt;
+using ast::StmtKind;
+using ast::StmtPtr;
+
+class Parser {
+ public:
+  explicit Parser(const std::vector<Token>& tokens) : tokens_(tokens) {}
+
+  Result<ast::TranslationUnit> parse_unit() {
+    ast::TranslationUnit unit;
+    while (!at_end()) {
+      if (peek_keyword("global") || peek_keyword("local")) {
+        auto obj = parse_object();
+        if (!obj.ok()) return obj.error();
+        unit.objects.push_back(std::move(obj).value());
+      } else if (peek_keyword("int")) {
+        auto fn = parse_function();
+        if (!fn.ok()) return fn.error();
+        unit.functions.push_back(std::move(fn).value());
+      } else {
+        return err("expected 'global', 'local' or 'int' at top level");
+      }
+    }
+    return unit;
+  }
+
+ private:
+  // ------------------------------------------------------------ plumbing
+  const Token& cur() const { return tokens_[pos_]; }
+  bool at_end() const { return cur().kind == TokenKind::kEnd; }
+  void advance() {
+    if (!at_end()) ++pos_;
+  }
+  bool peek_keyword(const std::string& kw) const {
+    return cur().kind == TokenKind::kKeyword && cur().text == kw;
+  }
+  bool peek_punct(const std::string& p) const {
+    return cur().kind == TokenKind::kPunct && cur().text == p;
+  }
+  bool peek_op(const std::string& op) const {
+    return cur().kind == TokenKind::kOperator && cur().text == op;
+  }
+  bool eat_keyword(const std::string& kw) {
+    if (!peek_keyword(kw)) return false;
+    advance();
+    return true;
+  }
+  bool eat_punct(const std::string& p) {
+    if (!peek_punct(p)) return false;
+    advance();
+    return true;
+  }
+  bool eat_op(const std::string& op) {
+    if (!peek_op(op)) return false;
+    advance();
+    return true;
+  }
+  Error err(const std::string& what) const {
+    return make_error("parse: " + what + " at line " +
+                      std::to_string(cur().line) +
+                      (cur().text.empty() ? "" : " (near '" + cur().text + "')"));
+  }
+
+  // ----------------------------------------------------------- top level
+  Result<ast::ObjectDecl> parse_object() {
+    ast::ObjectDecl obj;
+    obj.line = cur().line;
+    obj.is_global = eat_keyword("global");
+    if (!obj.is_global && !eat_keyword("local")) {
+      return err("expected 'global' or 'local'");
+    }
+    if (!eat_keyword("u8")) return err("expected 'u8' in object declaration");
+    if (cur().kind != TokenKind::kIdentifier) return err("expected object name");
+    obj.name = cur().text;
+    advance();
+    if (!eat_punct("[")) return err("expected '[' after object name");
+    if (cur().kind != TokenKind::kNumber) return err("expected object size");
+    obj.size = cur().number;
+    advance();
+    if (!eat_punct("]")) return err("expected ']' after object size");
+    while (true) {
+      if (eat_keyword("hot")) obj.hot = true;
+      else if (eat_keyword("cold")) obj.cold = true;
+      else if (eat_keyword("readmostly")) obj.read_mostly = true;
+      else if (eat_keyword("writemostly")) obj.write_mostly = true;
+      else break;
+    }
+    if (!eat_punct(";")) return err("expected ';' after object declaration");
+    return obj;
+  }
+
+  Result<ast::FunctionDecl> parse_function() {
+    ast::FunctionDecl fn;
+    fn.line = cur().line;
+    if (!eat_keyword("int")) return err("expected 'int'");
+    if (cur().kind != TokenKind::kIdentifier) return err("expected function name");
+    fn.name = cur().text;
+    advance();
+    if (!eat_punct("(")) return err("expected '('");
+    if (!peek_punct(")")) {
+      while (true) {
+        if (cur().kind != TokenKind::kIdentifier) {
+          return err("expected parameter name");
+        }
+        fn.params.push_back(cur().text);
+        advance();
+        if (!eat_punct(",")) break;
+      }
+    }
+    if (!eat_punct(")")) return err("expected ')'");
+    auto body = parse_block();
+    if (!body.ok()) return body.error();
+    fn.body = std::move(body).value();
+    return fn;
+  }
+
+  // ----------------------------------------------------------- statements
+  Result<std::vector<StmtPtr>> parse_block() {
+    if (!eat_punct("{")) return Result<std::vector<StmtPtr>>(err("expected '{'"));
+    std::vector<StmtPtr> stmts;
+    while (!peek_punct("}")) {
+      if (at_end()) return Result<std::vector<StmtPtr>>(err("unterminated block"));
+      auto stmt = parse_stmt();
+      if (!stmt.ok()) return stmt.error();
+      stmts.push_back(std::move(stmt).value());
+    }
+    eat_punct("}");
+    return stmts;
+  }
+
+  Result<StmtPtr> parse_stmt() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->line = cur().line;
+
+    if (eat_keyword("var")) {
+      stmt->kind = StmtKind::kVarDecl;
+      if (cur().kind != TokenKind::kIdentifier) return Result<StmtPtr>(err("expected variable name"));
+      stmt->name = cur().text;
+      advance();
+      if (!eat_op("=")) return Result<StmtPtr>(err("expected '=' in var declaration"));
+      auto value = parse_expr();
+      if (!value.ok()) return value.error();
+      stmt->value = std::move(value).value();
+      if (!eat_punct(";")) return Result<StmtPtr>(err("expected ';'"));
+      return Result<StmtPtr>(std::move(stmt));
+    }
+    if (eat_keyword("if")) {
+      stmt->kind = StmtKind::kIf;
+      if (!eat_punct("(")) return Result<StmtPtr>(err("expected '(' after if"));
+      auto cond = parse_expr();
+      if (!cond.ok()) return cond.error();
+      stmt->value = std::move(cond).value();
+      if (!eat_punct(")")) return Result<StmtPtr>(err("expected ')'"));
+      auto then_body = parse_block();
+      if (!then_body.ok()) return then_body.error();
+      stmt->then_body = std::move(then_body).value();
+      if (eat_keyword("else")) {
+        auto else_body = parse_block();
+        if (!else_body.ok()) return else_body.error();
+        stmt->else_body = std::move(else_body).value();
+      }
+      return Result<StmtPtr>(std::move(stmt));
+    }
+    if (eat_keyword("for")) {
+      stmt->kind = StmtKind::kFor;
+      if (!eat_punct("(")) return Result<StmtPtr>(err("expected '(' after for"));
+      auto init = parse_simple_stmt();   // var decl or assignment
+      if (!init.ok()) return init.error();
+      stmt->init = std::move(init).value();
+      if (!eat_punct(";")) return Result<StmtPtr>(err("expected ';' after for-init"));
+      auto cond = parse_expr();
+      if (!cond.ok()) return cond.error();
+      stmt->value = std::move(cond).value();
+      if (!eat_punct(";")) return Result<StmtPtr>(err("expected ';' after for-cond"));
+      auto step = parse_simple_stmt();
+      if (!step.ok()) return step.error();
+      stmt->step = std::move(step).value();
+      if (!eat_punct(")")) return Result<StmtPtr>(err("expected ')' after for-step"));
+      auto body = parse_block();
+      if (!body.ok()) return body.error();
+      stmt->then_body = std::move(body).value();
+      return Result<StmtPtr>(std::move(stmt));
+    }
+    if (eat_keyword("while")) {
+      stmt->kind = StmtKind::kWhile;
+      if (!eat_punct("(")) return Result<StmtPtr>(err("expected '(' after while"));
+      auto cond = parse_expr();
+      if (!cond.ok()) return cond.error();
+      stmt->value = std::move(cond).value();
+      if (!eat_punct(")")) return Result<StmtPtr>(err("expected ')'"));
+      auto body = parse_block();
+      if (!body.ok()) return body.error();
+      stmt->then_body = std::move(body).value();
+      return Result<StmtPtr>(std::move(stmt));
+    }
+    if (eat_keyword("return")) {
+      stmt->kind = StmtKind::kReturn;
+      auto value = parse_expr();
+      if (!value.ok()) return value.error();
+      stmt->value = std::move(value).value();
+      if (!eat_punct(";")) return Result<StmtPtr>(err("expected ';'"));
+      return Result<StmtPtr>(std::move(stmt));
+    }
+    // Assignment (including compound sugar) or expression statement.
+    if (auto assign = try_parse_assignment()) {
+      if (!assign->ok()) return std::move(*assign);
+      if (!eat_punct(";")) return Result<StmtPtr>(err("expected ';'"));
+      return std::move(*assign);
+    }
+    stmt->kind = StmtKind::kExpr;
+    auto value = parse_expr();
+    if (!value.ok()) return value.error();
+    stmt->value = std::move(value).value();
+    if (!eat_punct(";")) return Result<StmtPtr>(err("expected ';'"));
+    return Result<StmtPtr>(std::move(stmt));
+  }
+
+  // Parses a statement usable in for-clauses: `var x = e` or an
+  // assignment (no trailing ';'). Also used for plain statements.
+  Result<StmtPtr> parse_simple_stmt() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->line = cur().line;
+    if (eat_keyword("var")) {
+      stmt->kind = StmtKind::kVarDecl;
+      if (cur().kind != TokenKind::kIdentifier) {
+        return Result<StmtPtr>(err("expected variable name"));
+      }
+      stmt->name = cur().text;
+      advance();
+      if (!eat_op("=")) return Result<StmtPtr>(err("expected '='"));
+      auto value = parse_expr();
+      if (!value.ok()) return value.error();
+      stmt->value = std::move(value).value();
+      return Result<StmtPtr>(std::move(stmt));
+    }
+    if (auto assign = try_parse_assignment()) return std::move(*assign);
+    return Result<StmtPtr>(err("expected assignment or var declaration"));
+  }
+
+  // Recognizes `name = expr` and the compound forms `name op= expr`
+  // (op ∈ + - * & | ^). Returns nullopt when the lookahead is not an
+  // assignment; never consumes input in that case.
+  std::optional<Result<StmtPtr>> try_parse_assignment() {
+    if (cur().kind != TokenKind::kIdentifier) return std::nullopt;
+    if (pos_ + 1 >= tokens_.size()) return std::nullopt;
+    const Token& op1 = tokens_[pos_ + 1];
+    if (op1.kind != TokenKind::kOperator) return std::nullopt;
+
+    std::string compound;
+    std::size_t eat = 0;
+    if (op1.text == "=") {
+      eat = 2;
+    } else if ((op1.text == "+" || op1.text == "-" || op1.text == "*" ||
+                op1.text == "&" || op1.text == "|" || op1.text == "^") &&
+               pos_ + 2 < tokens_.size() &&
+               tokens_[pos_ + 2].kind == TokenKind::kOperator &&
+               tokens_[pos_ + 2].text == "=") {
+      compound = op1.text;
+      eat = 3;
+    } else {
+      return std::nullopt;
+    }
+
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::kAssign;
+    stmt->line = cur().line;
+    stmt->name = cur().text;
+    for (std::size_t i = 0; i < eat; ++i) advance();
+    auto value = parse_expr();
+    if (!value.ok()) {
+      return std::optional<Result<StmtPtr>>(value.error());
+    }
+    if (compound.empty()) {
+      stmt->value = std::move(value).value();
+    } else {
+      // Desugar `x op= e` into `x = x op (e)`.
+      auto lhs = std::make_unique<Expr>();
+      lhs->kind = ExprKind::kVariable;
+      lhs->line = stmt->line;
+      lhs->name = stmt->name;
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kBinary;
+      node->line = stmt->line;
+      node->op = compound;
+      node->lhs = std::move(lhs);
+      node->rhs = std::move(value).value();
+      stmt->value = std::move(node);
+    }
+    return std::optional<Result<StmtPtr>>(std::move(stmt));
+  }
+
+  // ---------------------------------------------------------- expressions
+  // Precedence levels, loosest first.
+  static constexpr std::array<std::array<const char*, 6>, 5> kLevels = {{
+      {"==", "!=", "<", "<=", ">", ">="},
+      {"&", "|", "^", nullptr, nullptr, nullptr},
+      {"<<", ">>", nullptr, nullptr, nullptr, nullptr},
+      {"+", "-", nullptr, nullptr, nullptr, nullptr},
+      {"*", "/", "%", nullptr, nullptr, nullptr},
+  }};
+
+  Result<ExprPtr> parse_expr() { return parse_level(0); }
+
+  Result<ExprPtr> parse_level(std::size_t level) {
+    if (level >= kLevels.size()) return parse_unary();
+    auto lhs = parse_level(level + 1);
+    if (!lhs.ok()) return lhs;
+    while (true) {
+      const char* matched = nullptr;
+      for (const char* op : kLevels[level]) {
+        if (op != nullptr && peek_op(op)) {
+          matched = op;
+          break;
+        }
+      }
+      if (matched == nullptr) break;
+      advance();
+      auto rhs = parse_level(level + 1);
+      if (!rhs.ok()) return rhs;
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kBinary;
+      node->line = cur().line;
+      node->op = matched;
+      node->lhs = std::move(lhs).value();
+      node->rhs = std::move(rhs).value();
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> parse_unary() {
+    if (peek_op("-") || peek_op("!")) {
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kUnary;
+      node->line = cur().line;
+      node->op = cur().text;
+      advance();
+      auto operand = parse_unary();
+      if (!operand.ok()) return operand;
+      node->lhs = std::move(operand).value();
+      return Result<ExprPtr>(std::move(node));
+    }
+    return parse_primary();
+  }
+
+  Result<ExprPtr> parse_primary() {
+    auto node = std::make_unique<Expr>();
+    node->line = cur().line;
+    if (cur().kind == TokenKind::kNumber) {
+      node->kind = ExprKind::kNumber;
+      node->number = cur().number;
+      advance();
+      return Result<ExprPtr>(std::move(node));
+    }
+    if (eat_punct("(")) {
+      auto inner = parse_expr();
+      if (!inner.ok()) return inner;
+      if (!eat_punct(")")) return Result<ExprPtr>(err("expected ')'"));
+      return inner;
+    }
+    if (cur().kind == TokenKind::kIdentifier) {
+      node->name = cur().text;
+      advance();
+      if (eat_punct("(")) {
+        node->kind = ExprKind::kCall;
+        if (!peek_punct(")")) {
+          while (true) {
+            auto arg = parse_expr();
+            if (!arg.ok()) return arg;
+            node->args.push_back(std::move(arg).value());
+            if (!eat_punct(",")) break;
+          }
+        }
+        if (!eat_punct(")")) return Result<ExprPtr>(err("expected ')' after arguments"));
+        return Result<ExprPtr>(std::move(node));
+      }
+      node->kind = ExprKind::kVariable;
+      return Result<ExprPtr>(std::move(node));
+    }
+    return Result<ExprPtr>(err("expected expression"));
+  }
+
+  const std::vector<Token>& tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ast::TranslationUnit> parse(const std::vector<Token>& tokens) {
+  Parser parser(tokens);
+  return parser.parse_unit();
+}
+
+}  // namespace lnic::microc

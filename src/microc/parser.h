@@ -1,0 +1,32 @@
+// Recursive-descent parser for Micro-C. Grammar (see frontend.h for the
+// full reference):
+//
+//   unit      := (object | function)*
+//   object    := ("global"|"local") "u8" ident "[" number "]"
+//                ("hot"|"cold")? ("readmostly"|"writemostly")? ";"
+//   function  := "int" ident "(" params? ")" block
+//   block     := "{" stmt* "}"
+//   stmt      := "var" ident "=" expr ";"
+//              | ident "=" expr ";"
+//              | "if" "(" expr ")" block ("else" block)?
+//              | "while" "(" expr ")" block
+//              | "return" expr ";"
+//              | expr ";"
+//   expr      := cmp (("=="|"!="|"<"|"<="|">"|">=") cmp)*
+//   cmp       := shift (("<<"|">>") shift)*        -- C-ish precedence,
+//   shift     := sum (("&"|"|"|"^") sum)*             simplified
+//   sum       := term (("+"|"-") term)*
+//   term      := factor (("*"|"/"|"%") factor)*
+//   factor    := number | ident | ident "(" args ")" | "(" expr ")"
+//              | "-" factor | "!" factor
+#pragma once
+
+#include "common/result.h"
+#include "microc/ast.h"
+#include "microc/lexer.h"
+
+namespace lnic::microc {
+
+Result<ast::TranslationUnit> parse(const std::vector<Token>& tokens);
+
+}  // namespace lnic::microc

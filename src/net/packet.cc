@@ -1,0 +1,53 @@
+#include "net/packet.h"
+
+#include <algorithm>
+
+namespace lnic::net {
+
+const char* to_string(PacketKind kind) {
+  switch (kind) {
+    case PacketKind::kRequest: return "request";
+    case PacketKind::kResponse: return "response";
+    case PacketKind::kRdmaWrite: return "rdma-write";
+    case PacketKind::kRdmaEvent: return "rdma-event";
+    case PacketKind::kKvRequest: return "kv-request";
+    case PacketKind::kKvResponse: return "kv-response";
+    case PacketKind::kControl: return "control";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> make_payload(const std::string& text) {
+  return std::vector<std::uint8_t>(text.begin(), text.end());
+}
+
+std::string payload_to_string(const std::vector<std::uint8_t>& payload) {
+  return std::string(payload.begin(), payload.end());
+}
+
+std::vector<Packet> fragment(NodeId src, NodeId dst, PacketKind kind,
+                             const LambdaHeader& header,
+                             const std::vector<std::uint8_t>& payload) {
+  std::vector<Packet> out;
+  const std::size_t total = payload.size();
+  const std::size_t count =
+      total == 0 ? 1 : (total + kMaxPayload - 1) / kMaxPayload;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Packet p;
+    p.src = src;
+    p.dst = dst;
+    p.kind = kind;
+    p.lambda = header;
+    p.lambda.frag_index = static_cast<std::uint32_t>(i);
+    p.lambda.frag_count = static_cast<std::uint32_t>(count);
+    const std::size_t begin = i * kMaxPayload;
+    const std::size_t end = std::min(total, begin + kMaxPayload);
+    p.payload.assign(payload.begin() + static_cast<std::ptrdiff_t>(begin),
+                     payload.begin() + static_cast<std::ptrdiff_t>(end));
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace lnic::net

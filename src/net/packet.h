@@ -1,0 +1,68 @@
+// Packet and header model for the simulated fabric.
+//
+// Requests carry the λ-NIC lambda header (paper §4.1): the gateway inserts
+// the workload ID of the destination lambda; the NIC match stage
+// dispatches on it. Multi-packet payloads are fragmented and carry
+// (frag_index, frag_count) so the NIC-side reorder buffer can reassemble
+// out-of-order arrivals (paper §4.2.1 D3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lnic::net {
+
+/// Wire overhead of Ethernet + IPv4 + UDP framing, bytes.
+constexpr Bytes kFrameOverhead = 14 + 20 + 8;
+/// Size of the λ-NIC lambda header, bytes.
+constexpr Bytes kLambdaHeaderSize = 24;
+/// Largest payload per packet (jumbo frames disabled, as on the testbed).
+constexpr Bytes kMaxPayload = 1400;
+
+enum class PacketKind : std::uint8_t {
+  kRequest,      // single-packet lambda RPC request
+  kResponse,     // lambda RPC response
+  kRdmaWrite,    // one segment of a multi-packet RDMA write
+  kRdmaEvent,    // event RPC that triggers a lambda after RDMA completion
+  kKvRequest,    // cache-server GET/SET issued by a key-value lambda
+  kKvResponse,   // cache-server reply
+  kControl,      // framework control traffic (deploy, raft, etcd)
+};
+
+const char* to_string(PacketKind kind);
+
+/// λ-NIC lambda header: inserted by the gateway in front of each request.
+struct LambdaHeader {
+  WorkloadId workload_id = kInvalidWorkload;
+  RequestId request_id = 0;
+  std::uint32_t frag_index = 0;
+  std::uint32_t frag_count = 1;
+};
+
+struct Packet {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  PacketKind kind = PacketKind::kRequest;
+  LambdaHeader lambda;
+  std::vector<std::uint8_t> payload;
+
+  /// Total on-the-wire size including framing.
+  Bytes wire_size() const {
+    return kFrameOverhead + kLambdaHeaderSize + payload.size();
+  }
+};
+
+/// Builds a payload from a string (request bodies in examples/tests).
+std::vector<std::uint8_t> make_payload(const std::string& text);
+std::string payload_to_string(const std::vector<std::uint8_t>& payload);
+
+/// Splits `payload` into <=kMaxPayload fragments, all sharing `header`'s
+/// workload/request IDs with frag_index/frag_count filled in.
+std::vector<Packet> fragment(NodeId src, NodeId dst, PacketKind kind,
+                             const LambdaHeader& header,
+                             const std::vector<std::uint8_t>& payload);
+
+}  // namespace lnic::net

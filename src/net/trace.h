@@ -1,0 +1,58 @@
+// Packet tracing: a tcpdump for the simulated fabric. Attach a tracer to
+// a Network to record every send (including drops) with timestamps;
+// dump as a text table or query per-kind summaries. Used by tests,
+// debugging sessions, and the examples' narration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "net/packet.h"
+
+namespace lnic::net {
+
+class PacketTracer {
+ public:
+  struct Record {
+    SimTime time = 0;
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    PacketKind kind = PacketKind::kRequest;
+    WorkloadId workload = kInvalidWorkload;
+    RequestId request = 0;
+    std::uint32_t frag_index = 0;
+    std::uint32_t frag_count = 1;
+    Bytes wire_bytes = 0;
+    bool dropped = false;
+  };
+
+  /// Called by the Network on every send.
+  void record(const Packet& packet, SimTime now, bool dropped);
+
+  const std::vector<Record>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  void clear() { records_.clear(); }
+
+  /// Caps memory for long runs; older records are discarded FIFO.
+  void set_capacity(std::size_t max_records) { capacity_ = max_records; }
+
+  /// Per-kind packet and byte totals.
+  struct KindSummary {
+    std::uint64_t packets = 0;
+    Bytes bytes = 0;
+    std::uint64_t dropped = 0;
+  };
+  std::map<PacketKind, KindSummary> summarize() const;
+
+  /// tcpdump-style text listing of up to `max_lines` records.
+  std::string dump(std::size_t max_lines = 50) const;
+
+ private:
+  std::vector<Record> records_;
+  std::size_t capacity_ = 1 << 20;
+};
+
+}  // namespace lnic::net

@@ -1,0 +1,350 @@
+#include "nicsim/nic.h"
+
+#include <cassert>
+#include <utility>
+
+#include "common/logging.h"
+#include "proto/invocation.h"
+
+namespace lnic::nicsim {
+
+using microc::Outcome;
+using microc::RunState;
+using net::Packet;
+using net::PacketKind;
+
+/// One request in flight on an NPU thread (or waiting in the dispatch
+/// queue). Owns the invocation (the Machine keeps a pointer into it) and
+/// the suspended Machine across external-call round trips.
+struct SmartNic::Flight {
+  net::LambdaHeader lambda;
+  NodeId reply_to = kInvalidNode;
+  microc::Invocation invocation;
+  std::unique_ptr<microc::Machine> machine;
+  SimTime arrived = 0;
+  SimTime dispatched = 0;
+  std::uint64_t cycles_reported = 0;  // cycles accounted so far
+  Bytes staged_bytes = 0;             // EMEM staging held until completion
+};
+
+SmartNic::~SmartNic() = default;
+
+SmartNic::SmartNic(sim::Simulator& sim, net::Network& network,
+                   NicConfig config)
+    : sim_(sim), network_(network), config_(config), rng_(config.seed) {
+  node_ = network_.attach([this](const Packet& p) { handle_packet(p); });
+}
+
+bool SmartNic::down() const { return sim_.now() < down_until_; }
+
+Status SmartNic::deploy(compiler::CompileOutput firmware) {
+  if (firmware.final_words() > config_.instr_store_words) {
+    return make_error("deploy: firmware exceeds instruction store");
+  }
+  program_ = std::move(firmware.program);
+  globals_.reset(*program_);
+  // Static parse+match cycle estimate for the pipelined mode (§5
+  // footnote 4): the parser's field extractions plus the dispatch
+  // function's instruction and memory costs.
+  {
+    const microc::CostModel npu = microc::CostModel::npu();
+    std::uint64_t cycles =
+        npu.hdr_cycles * program_->parsed_fields.size();
+    const auto& dispatch = program_->functions[program_->dispatch_function];
+    for (const auto& block : dispatch.blocks) {
+      for (const auto& in : block.instrs) {
+        cycles += npu.alu_cycles;
+        if (microc::is_memory_op(in.op)) {
+          cycles += npu.region_read[static_cast<int>(
+              program_->objects[in.obj].region)];
+        }
+      }
+    }
+    // A hit scans roughly half the match chain on average.
+    parse_match_cycles_ = cycles / 2;
+  }
+  // Firmware artifact: lowered words (NFP instruction words are 8 B) plus
+  // data-section bytes for initialized objects.
+  firmware_bytes_ = firmware.stages.back().code_words * 8;
+  for (const auto& obj : program_->objects) {
+    firmware_bytes_ += obj.initial_data.size();
+  }
+  if (!config_.allow_hot_swap) {
+    // §7: current NICs cannot hot swap; the card is down while loading.
+    down_until_ = sim_.now() + config_.firmware_load_time;
+  }
+  return Status::ok_status();
+}
+
+Bytes SmartNic::memory_in_use() const {
+  return firmware_bytes_ + globals_.total_bytes() + inflight_bytes_;
+}
+
+void SmartNic::handle_packet(const Packet& packet) {
+  switch (packet.kind) {
+    case PacketKind::kRequest:
+      if (packet.lambda.frag_count > 1) {
+        handle_rdma_fragment(packet);
+      } else {
+        handle_request(packet, packet.payload);
+      }
+      break;
+    case PacketKind::kRdmaWrite:
+      handle_rdma_fragment(packet);
+      break;
+    case PacketKind::kKvResponse:
+      handle_kv_response(packet);
+      break;
+    default:
+      break;  // responses/control are not addressed to the NIC data path
+  }
+}
+
+void SmartNic::handle_request(const Packet& packet,
+                              std::vector<std::uint8_t> body) {
+  if (!program_ || down()) {
+    ++stats_.requests_dropped_down;
+    return;
+  }
+  auto flight = std::make_unique<Flight>();
+  flight->lambda = packet.lambda;
+  flight->reply_to = packet.src;
+  flight->arrived = sim_.now();
+  // Multi-packet bodies were already staged into EMEM fragment by
+  // fragment (handle_rdma_fragment); the flight now owns those bytes and
+  // releases them at completion.
+  flight->staged_bytes = body.size() > net::kMaxPayload ? body.size() : 0;
+
+  flight->invocation =
+      proto::build_invocation(packet.lambda, packet.src, std::move(body));
+
+  if (config_.pipeline_stages) {
+    enter_parse_stage(std::move(flight));
+  } else {
+    enqueue(std::move(flight));
+  }
+}
+
+void SmartNic::enter_parse_stage(std::unique_ptr<Flight> flight) {
+  if (busy_parse_threads_ >= config_.parse_threads()) {
+    if (parse_queue_.size() >= config_.max_queue_depth) {
+      ++stats_.requests_dropped_queue;
+      inflight_bytes_ -= flight->staged_bytes;
+      return;
+    }
+    parse_queue_.push_back(std::move(flight));
+    return;
+  }
+  ++busy_parse_threads_;
+  const SimDuration service =
+      microc::CostModel::npu().cycles_to_duration(parse_match_cycles_);
+  Flight* raw = flight.release();
+  sim_.schedule(service, [this, raw]() {
+    enqueue(std::unique_ptr<Flight>(raw));
+    release_parse_thread();
+  });
+}
+
+void SmartNic::release_parse_thread() {
+  --busy_parse_threads_;
+  if (!parse_queue_.empty()) {
+    auto next = std::move(parse_queue_.front());
+    parse_queue_.pop_front();
+    enter_parse_stage(std::move(next));
+  }
+}
+
+void SmartNic::handle_rdma_fragment(const Packet& packet) {
+  if (!program_ || down()) {
+    ++stats_.requests_dropped_down;
+    return;
+  }
+  const auto key = std::make_pair(packet.src, packet.lambda.request_id);
+  Reassembly& re = reassembly_[key];
+  if (re.frags.empty()) {
+    re.frags.resize(packet.lambda.frag_count);
+    re.first = packet;
+  }
+  if (packet.lambda.frag_index >= re.frags.size()) return;  // corrupt
+  if (re.frags[packet.lambda.frag_index].empty()) {
+    // The RDMA write lands this fragment directly in EMEM (D3).
+    inflight_bytes_ += packet.payload.size();
+    stats_.peak_inflight_bytes =
+        std::max(stats_.peak_inflight_bytes, inflight_bytes_);
+    re.frags[packet.lambda.frag_index] = packet.payload;
+    ++re.received;
+  }
+  if (re.received < re.frags.size()) return;
+
+  // Last fragment landed: reorder/assemble in EMEM and fire the event
+  // RPC that triggers the lambda (D3).
+  std::vector<std::uint8_t> body;
+  for (auto& f : re.frags) body.insert(body.end(), f.begin(), f.end());
+  Packet trigger = re.first;
+  reassembly_.erase(key);
+  handle_request(trigger, std::move(body));
+}
+
+void SmartNic::enqueue(std::unique_ptr<Flight> flight) {
+  if (queued_ >= config_.max_queue_depth) {
+    ++stats_.requests_dropped_queue;
+    inflight_bytes_ -= flight->staged_bytes;
+    return;
+  }
+  if (config_.dispatch == DispatchPolicy::kWfq) {
+    wfq_queues_[flight->lambda.workload_id].push_back(std::move(flight));
+  } else {
+    fifo_.push_back(std::move(flight));
+  }
+  ++queued_;
+  try_dispatch();
+}
+
+std::unique_ptr<SmartNic::Flight> SmartNic::pop_next() {
+  if (config_.dispatch != DispatchPolicy::kWfq) {
+    if (fifo_.empty()) return nullptr;
+    auto flight = std::move(fifo_.front());
+    fifo_.pop_front();
+    --queued_;
+    return flight;
+  }
+  // Deficit round robin across per-workload queues: each pass grants
+  // every backlogged workload credit proportional to its weight.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (auto& [wid, queue] : wfq_queues_) {
+      if (queue.empty()) continue;
+      auto& deficit = wfq_deficit_[wid];
+      if (deficit >= 1) {
+        deficit -= 1;
+        auto flight = std::move(queue.front());
+        queue.pop_front();
+        --queued_;
+        return flight;
+      }
+    }
+    // No workload had credit: top everything up and retry once.
+    bool any = false;
+    for (auto& [wid, queue] : wfq_queues_) {
+      if (queue.empty()) continue;
+      any = true;
+      const auto it = weights_.find(wid);
+      wfq_deficit_[wid] += it == weights_.end() ? 1 : it->second;
+    }
+    if (!any) return nullptr;
+  }
+  return nullptr;
+}
+
+void SmartNic::try_dispatch() {
+  while (busy_threads_ < config_.lambda_threads() && queued_ > 0) {
+    auto flight = pop_next();
+    if (!flight) return;
+    ++busy_threads_;
+    flight->dispatched = sim_.now();
+    stats_.queue_wait_ns.add(
+        static_cast<double>(flight->dispatched - flight->arrived));
+    start_execution(std::move(flight));
+  }
+}
+
+void SmartNic::start_execution(std::unique_ptr<Flight> flight) {
+  flight->machine = std::make_unique<microc::Machine>(
+      *program_, microc::CostModel::npu(), &globals_);
+  Outcome outcome = flight->machine->run(flight->invocation);
+  continue_flight(std::move(flight), std::move(outcome));
+}
+
+void SmartNic::continue_flight(std::unique_ptr<Flight> flight,
+                               Outcome outcome) {
+  std::uint64_t delta = outcome.cycles - flight->cycles_reported;
+  // Pipelined mode already charged the parse+match share up front.
+  if (config_.pipeline_stages && flight->cycles_reported == 0) {
+    delta -= std::min(delta, parse_match_cycles_);
+  }
+  flight->cycles_reported = outcome.cycles;
+  SimDuration service = microc::CostModel::npu().cycles_to_duration(delta);
+  // Shared-memory arbitration jitter + rare DMA-contention spikes.
+  if (config_.jitter_fraction > 0.0) {
+    service = static_cast<SimDuration>(
+        static_cast<double>(service) *
+        (1.0 + rng_.next_double() * config_.jitter_fraction));
+  }
+  if (config_.hiccup_probability > 0.0 &&
+      rng_.next_bool(config_.hiccup_probability)) {
+    service += static_cast<SimDuration>(rng_.next_below(
+        static_cast<std::uint64_t>(std::max<SimDuration>(config_.hiccup_max, 1))));
+  }
+
+  if (outcome.state == RunState::kYield) {
+    // The thread blocks (run to completion) while the KV RPC is in
+    // flight; send the request after the compute burst that produced it.
+    const RequestId token = next_token_++;
+    const microc::ExtRequest ext = outcome.ext;
+    Flight* raw = flight.get();
+    waiting_kv_.emplace(token, std::move(flight));
+    sim_.schedule(service, [this, token, ext, raw]() {
+      (void)raw;
+      Packet kv;
+      kv.src = node_;
+      kv.dst = kv_server_;
+      kv.kind = PacketKind::kKvRequest;
+      kv.lambda.request_id = token;
+      kv.lambda.workload_id =
+          static_cast<WorkloadId>(ext.kind);  // 0 = GET, 1 = SET
+      kv.payload.resize(16);
+      for (int i = 0; i < 8; ++i) {
+        kv.payload[i] = static_cast<std::uint8_t>(ext.key >> (8 * i));
+        kv.payload[8 + i] = static_cast<std::uint8_t>(ext.value >> (8 * i));
+      }
+      network_.send(std::move(kv));
+    });
+    return;
+  }
+
+  // Done or trapped: hold the thread for the compute burst, then reply.
+  auto* raw = flight.release();
+  sim_.schedule(service, [this, raw, outcome = std::move(outcome)]() mutable {
+    finish_flight(std::unique_ptr<Flight>(raw), outcome);
+  });
+}
+
+void SmartNic::handle_kv_response(const Packet& packet) {
+  const auto it = waiting_kv_.find(packet.lambda.request_id);
+  if (it == waiting_kv_.end()) return;  // late duplicate
+  auto flight = std::move(it->second);
+  waiting_kv_.erase(it);
+  std::uint64_t reply = 0;
+  for (std::size_t i = 0; i < 8 && i < packet.payload.size(); ++i) {
+    reply |= static_cast<std::uint64_t>(packet.payload[i]) << (8 * i);
+  }
+  Outcome outcome = flight->machine->resume(reply);
+  continue_flight(std::move(flight), std::move(outcome));
+}
+
+void SmartNic::finish_flight(std::unique_ptr<Flight> flight,
+                             const Outcome& outcome) {
+  inflight_bytes_ -= flight->staged_bytes;
+  stats_.service_cycles.add(static_cast<double>(outcome.cycles));
+
+  if (outcome.state == RunState::kTrap) {
+    ++stats_.traps;
+    LNIC_WARN() << "lambda trap: " << outcome.trap_message;
+  } else if (outcome.return_value == 0xFFFF) {
+    ++stats_.requests_to_host;  // send_pkt_to_host path
+  } else {
+    ++stats_.requests_completed;
+    net::LambdaHeader hdr = flight->lambda;
+    auto frags = net::fragment(node_, flight->reply_to,
+                               PacketKind::kResponse, hdr, outcome.response);
+    for (auto& f : frags) network_.send(std::move(f));
+  }
+  release_thread();
+}
+
+void SmartNic::release_thread() {
+  assert(busy_threads_ > 0);
+  --busy_threads_;
+  try_dispatch();
+}
+
+}  // namespace lnic::nicsim

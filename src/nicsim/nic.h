@@ -1,0 +1,188 @@
+// ASIC-based SmartNIC model (Netronome Agilio CX-like, §5, Fig. 4).
+//
+// The card is a grid of islands × cores × threads. Every core runs the
+// same Match+Lambda firmware (§5: "we execute all three stages — parse,
+// match, and lambdas — together inside a core"); requests are dispatched
+// by a work-conserving scheduler to an idle thread (uniform at random in
+// the shipped hardware; an optional WFQ mode models §4.2.1 D1's
+// weighted-fair-queuing across workloads). A thread runs its lambda to
+// completion — there is no preemption and no context switch, which is
+// the architectural property behind the paper's tail-latency results.
+//
+// Service time per request = interpreted cycle count of the deployed
+// firmware at the NPU cost model / core frequency. Multi-packet payloads
+// arrive as RDMA writes straight into EMEM (D3); once the last fragment
+// lands, the event triggers the lambda with the assembled body. External
+// KV calls suspend the machine while the thread stays occupied
+// (run-to-completion), resuming when the reply packet returns.
+//
+// Firmware (re)deployment models the §7 limitation: no hot swapping —
+// the NIC drops requests during the load window. `allow_hot_swap`
+// enables the paper's anticipated hitless-update behaviour for ablation.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "compiler/pipeline.h"
+#include "microc/interp.h"
+#include "net/network.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace lnic::nicsim {
+
+enum class DispatchPolicy : std::uint8_t {
+  kUniformRandom,  // the shipped Netronome scheduler (§5)
+  kWfq,            // weighted fair queuing across workloads (D1)
+};
+
+struct NicConfig {
+  std::uint32_t islands = 7;
+  std::uint32_t cores_per_island = 8;   // 56 cores total (§6.1.2)
+  std::uint32_t threads_per_core = 8;   // 448 hardware threads
+  std::uint64_t instr_store_words = 16384;  // 16 K instructions per core
+  Bytes emem_bytes = 2048_MiB;          // 2 GiB on-board RAM
+  /// Basic-NIC-operation reserve: cores kept for TCP/IP offload and
+  /// checksums (§3.1c). These threads never run lambdas.
+  std::uint32_t reserved_cores = 2;
+  DispatchPolicy dispatch = DispatchPolicy::kUniformRandom;
+  /// Firmware load window during which the NIC is down (§7).
+  SimDuration firmware_load_time = seconds(15);
+  bool allow_hot_swap = false;  // §7 future-work ablation
+  /// §5 footnote 4: "the other approach is to pipeline these stages and
+  /// run them on separate cores". When enabled, `parse_match_cores` are
+  /// carved out to run the parse+match stage; lambdas run only their own
+  /// body cycles on the remaining threads.
+  bool pipeline_stages = false;
+  std::uint32_t parse_match_cores = 2;
+  std::size_t max_queue_depth = 8192;
+  /// Service-time variability: shared-memory (CTM/EMEM) arbitration
+  /// jitter plus rare DMA-contention spikes. Far smaller than host-side
+  /// noise — the source of λ-NIC's tight tails.
+  double jitter_fraction = 0.05;
+  double hiccup_probability = 0.01;
+  SimDuration hiccup_max = microseconds(25);
+  std::uint64_t seed = 0x5EED;
+
+  std::uint32_t total_cores() const { return islands * cores_per_island; }
+  std::uint32_t lambda_threads() const {
+    const std::uint32_t taken =
+        reserved_cores + (pipeline_stages ? parse_match_cores : 0);
+    return (total_cores() - taken) * threads_per_core;
+  }
+  std::uint32_t parse_threads() const {
+    return parse_match_cores * threads_per_core;
+  }
+};
+
+/// Per-workload WFQ weight table (defaults to 1 for unknown workloads).
+using WfqWeights = std::map<WorkloadId, std::uint32_t>;
+
+struct NicStats {
+  std::uint64_t requests_completed = 0;
+  std::uint64_t requests_dropped_down = 0;    // arrived during firmware load
+  std::uint64_t requests_dropped_queue = 0;   // queue overflow
+  std::uint64_t requests_to_host = 0;         // no matching lambda
+  std::uint64_t traps = 0;
+  Bytes peak_inflight_bytes = 0;              // RDMA staging high-water mark
+  Sampler service_cycles;                     // per-request NPU cycles
+  Sampler queue_wait_ns;                      // dispatch queue delay
+};
+
+class SmartNic {
+ public:
+  SmartNic(sim::Simulator& sim, net::Network& network, NicConfig config = {});
+  ~SmartNic();  // out of line: Flight is incomplete here
+
+  /// This NIC's address on the fabric.
+  NodeId node() const { return node_; }
+
+  /// Loads compiled firmware. Fails if the binary exceeds the per-core
+  /// instruction store. Unless hot swap is enabled the NIC is down for
+  /// config.firmware_load_time, and global lambda state resets.
+  Status deploy(compiler::CompileOutput firmware);
+
+  bool deployed() const { return program_.has_value(); }
+  bool down() const;
+
+  /// Node to which kExtCall KV traffic is sent (the memcached server).
+  void set_kv_server(NodeId node) { kv_server_ = node; }
+  void set_wfq_weights(WfqWeights weights) { weights_ = std::move(weights); }
+
+  const NicStats& stats() const { return stats_; }
+  /// NIC memory in use: firmware + global objects + staged RDMA bodies.
+  Bytes memory_in_use() const;
+  Bytes firmware_bytes() const { return firmware_bytes_; }
+  std::uint32_t busy_threads() const { return busy_threads_; }
+
+ private:
+  struct Flight;  // one in-flight request occupying a thread
+
+  void handle_packet(const net::Packet& packet);
+  void handle_request(const net::Packet& packet,
+                      std::vector<std::uint8_t> body);
+  void handle_rdma_fragment(const net::Packet& packet);
+  void handle_kv_response(const net::Packet& packet);
+  void enter_parse_stage(std::unique_ptr<Flight> flight);
+  void release_parse_thread();
+  void enqueue(std::unique_ptr<Flight> flight);
+  void try_dispatch();
+  std::unique_ptr<Flight> pop_next();     // honours the dispatch policy
+  void start_execution(std::unique_ptr<Flight> flight);
+  void continue_flight(std::unique_ptr<Flight> flight,
+                       microc::Outcome outcome);
+  void finish_flight(std::unique_ptr<Flight> flight,
+                     const microc::Outcome& outcome);
+  void release_thread();
+
+  sim::Simulator& sim_;
+  net::Network& network_;
+  NicConfig config_;
+  NodeId node_;
+  NodeId kv_server_ = kInvalidNode;
+  Rng rng_;
+
+  std::optional<microc::Program> program_;
+  microc::ObjectStore globals_;
+  Bytes firmware_bytes_ = 0;
+  SimTime down_until_ = 0;
+
+  std::uint32_t busy_threads_ = 0;
+  // Pipelined mode: dedicated parse+match stage ahead of the lambda pool.
+  std::uint32_t busy_parse_threads_ = 0;
+  std::deque<std::unique_ptr<Flight>> parse_queue_;
+  std::uint64_t parse_match_cycles_ = 0;  // static estimate, set at deploy
+  // Dispatch queues: single FIFO for uniform mode; per-workload for WFQ.
+  std::deque<std::unique_ptr<Flight>> fifo_;
+  std::map<WorkloadId, std::deque<std::unique_ptr<Flight>>> wfq_queues_;
+  std::map<WorkloadId, std::int64_t> wfq_deficit_;
+  WfqWeights weights_;
+  std::size_t queued_ = 0;
+
+  // RDMA reassembly: (src, request id) -> fragments received.
+  struct Reassembly {
+    std::vector<std::vector<std::uint8_t>> frags;
+    std::uint32_t received = 0;
+    net::Packet first;  // header template
+  };
+  std::map<std::pair<NodeId, RequestId>, Reassembly> reassembly_;
+  Bytes inflight_bytes_ = 0;
+
+  // Suspended flights waiting for a KV reply, keyed by ext-call token.
+  std::map<RequestId, std::unique_ptr<Flight>> waiting_kv_;
+  RequestId next_token_ = 1;
+
+  NicStats stats_;
+};
+
+}  // namespace lnic::nicsim

@@ -1,0 +1,46 @@
+// Lowering the P4 match stage into Micro-C dispatch code.
+//
+// Two modes, corresponding to before/after the match-reduction
+// optimization (§5.1, §6.4):
+//
+//  - kNaive: each table becomes a genuine exact-match lookup — keys are
+//    marshalled into a key buffer, hashed, and compared against entries
+//    stored in an EMEM-resident table object; every lambda carries its
+//    own route-management table and route helper (duplicated logic).
+//    The parser extracts every known header field.
+//
+//  - kReduced: tables with identical key structure are merged and the
+//    whole match stage collapses to one if-else sequence on the workload
+//    ID; a single shared route helper (parameterized by P4 metadata)
+//    replaces the per-lambda copies; the parser extracts only fields some
+//    function actually reads.
+#pragma once
+
+#include "common/result.h"
+#include "microc/ir.h"
+#include "p4/p4.h"
+
+namespace lnic::p4 {
+
+enum class LoweringMode { kNaive, kReduced };
+
+/// Appends the dispatch function (and route helpers / table objects) to
+/// `program`, which must already contain the lambda action functions
+/// named by the spec's entries. Sets program.dispatch_function,
+/// program.parsed_fields and program.lambda_entries.
+///
+/// Re-lowering over a program that already has a dispatch (the match
+/// reduction pass does this) first strips the previously generated
+/// functions and objects (they are tagged by name prefix "__match").
+Status lower_match_stage(const MatchSpec& spec, microc::Program& program,
+                         LoweringMode mode);
+
+/// Header fields actually read (kLoadHdr) by non-generated functions.
+std::vector<microc::HeaderField> infer_used_fields(
+    const microc::Program& program);
+
+/// Removes previously generated match-stage functions/objects (name
+/// prefix "__match"). Exposed for tests.
+void strip_generated(microc::Program& program);
+
+}  // namespace lnic::p4

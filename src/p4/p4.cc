@@ -1,0 +1,47 @@
+#include "p4/p4.h"
+
+#include <algorithm>
+
+namespace lnic::p4 {
+
+std::vector<microc::HeaderField> MatchSpec::referenced_fields() const {
+  std::vector<microc::HeaderField> fields;
+  for (const auto& table : tables) {
+    for (auto field : table.key_fields) {
+      if (std::find(fields.begin(), fields.end(), field) == fields.end()) {
+        fields.push_back(field);
+      }
+    }
+  }
+  return fields;
+}
+
+std::size_t MatchSpec::total_entries() const {
+  std::size_t n = 0;
+  for (const auto& table : tables) n += table.entries.size();
+  return n;
+}
+
+Table make_lambda_table(const std::string& lambda_name, WorkloadId id) {
+  Table t;
+  t.name = lambda_name + "_match";
+  t.key_fields = {microc::kHdrWorkloadId};
+  t.entries.push_back(TableEntry{{id}, lambda_name});
+  return t;
+}
+
+Table make_route_table(const std::string& lambda_name, WorkloadId id) {
+  Table t;
+  t.name = lambda_name + "_routes";
+  t.key_fields = {microc::kHdrWorkloadId, microc::kHdrSrcNode};
+  t.is_route_table = true;
+  // Route entries for the gateway and three peer worker nodes, as in the
+  // testbed (M2-M5 behind one switch, §6.1.2). The route action is the
+  // shared return-path helper emitted by the lowerer.
+  for (std::uint64_t src = 0; src < 4; ++src) {
+    t.entries.push_back(TableEntry{{id, src}, "route_" + lambda_name});
+  }
+  return t;
+}
+
+}  // namespace lnic::p4

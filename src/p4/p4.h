@@ -1,0 +1,60 @@
+// Mini-P4: the match-stage description language of Match+Lambda.
+//
+// Users express the match stage as P4 tables (paper §4.1, Listing 3):
+// each lambda contributes a match table keyed on header fields (the
+// lambda ID inserted by the gateway) plus a route-management table. The
+// workload manager lowers the combined spec into the Micro-C dispatch
+// function (lower.h); the match-reduction pass (§5.1) merges tables and
+// converts them to if-else sequences.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "microc/ir.h"
+
+namespace lnic::p4 {
+
+/// One entry of a match table: exact-match key values (parallel to the
+/// table's key_fields) selecting a lambda function.
+struct TableEntry {
+  std::vector<std::uint64_t> key_values;
+  std::string action_function;  // microc function name to invoke
+};
+
+/// An exact-match table, as declared in the P4 control block.
+struct Table {
+  std::string name;
+  std::vector<microc::HeaderField> key_fields;
+  std::vector<TableEntry> entries;
+  /// True for route-management tables (one per lambda in the naïve
+  /// program; merged into one by match reduction, §6.4).
+  bool is_route_table = false;
+};
+
+/// The control-ingress block: an ordered list of tables. Packets that
+/// match no entry fall through to the host OS path (Listing 3's
+/// send_pkt_to_host), modelled as dispatch returning kReturnToHost.
+struct MatchSpec {
+  std::vector<Table> tables;
+
+  /// Header fields referenced by any table key.
+  std::vector<microc::HeaderField> referenced_fields() const;
+
+  std::size_t total_entries() const;
+};
+
+/// Dispatch return codes shared with the machine model.
+constexpr std::uint64_t kReturnForward = 0;   // RETURN_FORWARD in Listing 2
+constexpr std::uint64_t kReturnToHost = 0xFFFF;  // no matching lambda
+
+/// Builds the match table for one lambda: key = lambda header workload ID.
+Table make_lambda_table(const std::string& lambda_name, WorkloadId id);
+
+/// Builds the per-lambda route-management table (route metadata keyed on
+/// the workload ID; the naïve compiler emits one per lambda).
+Table make_route_table(const std::string& lambda_name, WorkloadId id);
+
+}  // namespace lnic::p4

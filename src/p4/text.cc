@@ -1,0 +1,243 @@
+#include "p4/text.h"
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "microc/lexer.h"
+
+namespace lnic::p4 {
+
+namespace {
+
+using microc::Token;
+using microc::TokenKind;
+
+std::optional<microc::HeaderField> field_by_name(const std::string& name) {
+  static const std::map<std::string, microc::HeaderField> kFields = {
+      {"workload_id", microc::kHdrWorkloadId},
+      {"request_id", microc::kHdrRequestId},
+      {"src_node", microc::kHdrSrcNode},
+      {"op", microc::kHdrOp},
+      {"key", microc::kHdrKey},
+      {"value", microc::kHdrValue},
+      {"body_len", microc::kHdrBodyLen},
+      {"image_width", microc::kHdrImageWidth},
+      {"image_height", microc::kHdrImageHeight},
+  };
+  const auto it = kFields.find(name);
+  if (it == kFields.end()) return std::nullopt;
+  return it->second;
+}
+
+class P4Parser {
+ public:
+  explicit P4Parser(const std::vector<Token>& tokens) : tokens_(tokens) {}
+
+  Result<MatchSpec> run() {
+    std::map<std::string, Table> tables;
+    std::vector<std::string> apply_order;
+    bool saw_control = false;
+
+    while (!at_end()) {
+      if (eat_ident("parser")) {
+        if (Status st = parse_parser_block(); !st.ok()) return st.error();
+      } else if (eat_ident("table")) {
+        auto table = parse_table();
+        if (!table.ok()) return table.error();
+        const std::string name = table.value().name;
+        if (tables.count(name)) return err("duplicate table '" + name + "'");
+        tables.emplace(name, std::move(table).value());
+      } else if (eat_ident("control")) {
+        if (saw_control) return err("multiple control blocks");
+        saw_control = true;
+        auto order = parse_control();
+        if (!order.ok()) return order.error();
+        apply_order = std::move(order).value();
+      } else {
+        return err("expected 'parser', 'table' or 'control'");
+      }
+    }
+    if (!saw_control) return err("missing control block");
+
+    MatchSpec spec;
+    std::set<std::string> applied;
+    for (const auto& name : apply_order) {
+      const auto it = tables.find(name);
+      if (it == tables.end()) return err("apply of unknown table '" + name + "'");
+      if (!applied.insert(name).second) {
+        return err("table '" + name + "' applied twice");
+      }
+      spec.tables.push_back(it->second);
+    }
+    for (const auto& [name, table] : tables) {
+      (void)table;
+      if (!applied.count(name)) {
+        return err("table '" + name + "' is never applied");
+      }
+    }
+    return spec;
+  }
+
+ private:
+  const Token& cur() const { return tokens_[pos_]; }
+  bool at_end() const { return cur().kind == TokenKind::kEnd; }
+  void advance() {
+    if (!at_end()) ++pos_;
+  }
+  bool peek_ident(const std::string& text) const {
+    return (cur().kind == TokenKind::kIdentifier ||
+            cur().kind == TokenKind::kKeyword) &&
+           cur().text == text;
+  }
+  bool eat_ident(const std::string& text) {
+    if (!peek_ident(text)) return false;
+    advance();
+    return true;
+  }
+  bool eat_punct(const std::string& p) {
+    if (cur().kind != TokenKind::kPunct || cur().text != p) return false;
+    advance();
+    return true;
+  }
+  bool eat_op(const std::string& op) {
+    if (cur().kind != TokenKind::kOperator || cur().text != op) return false;
+    advance();
+    return true;
+  }
+  Error err(const std::string& what) const {
+    return make_error("p4: " + what + " at line " + std::to_string(cur().line));
+  }
+
+  Status parse_parser_block() {
+    if (!eat_punct("{")) return err("expected '{' after parser");
+    while (!eat_punct("}")) {
+      if (at_end()) return err("unterminated parser block");
+      if (!eat_ident("extract")) return err("expected 'extract'");
+      if (!eat_punct("(")) return err("expected '('");
+      if (cur().kind != TokenKind::kIdentifier &&
+          cur().kind != TokenKind::kKeyword) {
+        return err("expected field name");
+      }
+      if (!field_by_name(cur().text).has_value()) {
+        return err("unknown header field '" + cur().text + "'");
+      }
+      advance();
+      if (!eat_punct(")")) return err("expected ')'");
+      if (!eat_punct(";")) return err("expected ';'");
+    }
+    return Status::ok_status();
+  }
+
+  Result<Table> parse_table() {
+    Table table;
+    if (cur().kind != TokenKind::kIdentifier) {
+      return Result<Table>(err("expected table name"));
+    }
+    table.name = cur().text;
+    advance();
+    if (eat_ident("route")) table.is_route_table = true;
+    if (!eat_punct("{")) return Result<Table>(err("expected '{'"));
+
+    // key = { field; field; ... }
+    if (!eat_ident("key")) return Result<Table>(err("expected 'key'"));
+    if (!eat_op("=")) return Result<Table>(err("expected '='"));
+    if (!eat_punct("{")) return Result<Table>(err("expected '{' after key ="));
+    while (!eat_punct("}")) {
+      if (at_end()) return Result<Table>(err("unterminated key list"));
+      if (cur().kind != TokenKind::kIdentifier &&
+          cur().kind != TokenKind::kKeyword) {
+        return Result<Table>(err("expected key field name"));
+      }
+      const auto field = field_by_name(cur().text);
+      if (!field.has_value()) {
+        return Result<Table>(err("unknown header field '" + cur().text + "'"));
+      }
+      table.key_fields.push_back(*field);
+      advance();
+      if (!eat_punct(";")) return Result<Table>(err("expected ';' after key field"));
+    }
+    if (table.key_fields.empty()) {
+      return Result<Table>(err("table '" + table.name + "' has no key fields"));
+    }
+
+    // entry (v, v, ...) -> action;
+    while (!eat_punct("}")) {
+      if (at_end()) return Result<Table>(err("unterminated table body"));
+      if (!eat_ident("entry")) return Result<Table>(err("expected 'entry'"));
+      if (!eat_punct("(")) return Result<Table>(err("expected '('"));
+      TableEntry entry;
+      while (true) {
+        if (cur().kind != TokenKind::kNumber) {
+          return Result<Table>(err("expected key value"));
+        }
+        entry.key_values.push_back(cur().number);
+        advance();
+        if (!eat_punct(",")) break;
+      }
+      if (!eat_punct(")")) return Result<Table>(err("expected ')'"));
+      if (entry.key_values.size() != table.key_fields.size()) {
+        return Result<Table>(err("entry key arity mismatch in table '" +
+                                 table.name + "'"));
+      }
+      // '->' lexes as two operator tokens.
+      if (!eat_op("-")) return Result<Table>(err("expected '->'"));
+      if (!eat_op(">")) return Result<Table>(err("expected '->'"));
+      if (cur().kind != TokenKind::kIdentifier) {
+        return Result<Table>(err("expected action function name"));
+      }
+      entry.action_function = cur().text;
+      advance();
+      if (!eat_punct(";")) return Result<Table>(err("expected ';' after entry"));
+      table.entries.push_back(std::move(entry));
+    }
+    return table;
+  }
+
+  Result<std::vector<std::string>> parse_control() {
+    if (!eat_ident("ingress")) {
+      return Result<std::vector<std::string>>(err("expected 'ingress'"));
+    }
+    if (!eat_punct("{")) {
+      return Result<std::vector<std::string>>(err("expected '{'"));
+    }
+    std::vector<std::string> order;
+    while (!eat_punct("}")) {
+      if (at_end()) {
+        return Result<std::vector<std::string>>(err("unterminated control"));
+      }
+      if (!eat_ident("apply")) {
+        return Result<std::vector<std::string>>(err("expected 'apply'"));
+      }
+      if (!eat_punct("(")) {
+        return Result<std::vector<std::string>>(err("expected '('"));
+      }
+      if (cur().kind != TokenKind::kIdentifier) {
+        return Result<std::vector<std::string>>(err("expected table name"));
+      }
+      order.push_back(cur().text);
+      advance();
+      if (!eat_punct(")")) {
+        return Result<std::vector<std::string>>(err("expected ')'"));
+      }
+      if (!eat_punct(";")) {
+        return Result<std::vector<std::string>>(err("expected ';'"));
+      }
+    }
+    return order;
+  }
+
+  const std::vector<Token>& tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<MatchSpec> parse_p4(const std::string& source) {
+  auto tokens = microc::lex(source);
+  if (!tokens.ok()) return tokens.error();
+  P4Parser parser(tokens.value());
+  return parser.run();
+}
+
+}  // namespace lnic::p4

@@ -1,0 +1,39 @@
+// Text frontend for the mini-P4 match-stage language (paper §4.1,
+// Listing 3: users specify "the corresponding P4 code for the match
+// stage"). Parses a compact P4-16-style subset into a MatchSpec:
+//
+//   parser {
+//     extract(workload_id);
+//     extract(src_node);
+//   }
+//
+//   table web_match {
+//     key = { workload_id; }
+//     entry (1) -> web_server;
+//   }
+//
+//   table web_routes route {            // `route` marks a route table
+//     key = { workload_id; src_node; }
+//     entry (1, 0) -> route_web_server;
+//     entry (1, 1) -> route_web_server;
+//   }
+//
+//   control ingress {
+//     apply(web_match);
+//     apply(web_routes);
+//   }
+//
+// The control block fixes table order; tables not applied are rejected.
+// Key fields use the extracted-header names from microc/frontend.h.
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "p4/p4.h"
+
+namespace lnic::p4 {
+
+Result<MatchSpec> parse_p4(const std::string& source);
+
+}  // namespace lnic::p4

@@ -1,0 +1,97 @@
+#include "proto/rpc.h"
+
+#include <cassert>
+
+namespace lnic::proto {
+
+using net::Packet;
+using net::PacketKind;
+
+RpcClient::RpcClient(sim::Simulator& sim, net::Network& network,
+                     RpcConfig config)
+    : sim_(sim), network_(network), config_(config) {
+  node_ = network_.attach([this](const Packet& p) { on_packet(p); });
+}
+
+void RpcClient::call(NodeId dst, WorkloadId workload,
+                     std::vector<std::uint8_t> payload, RpcCallback callback) {
+  const RequestId id = next_id_++;
+  Pending pending;
+  pending.dst = dst;
+  pending.workload = workload;
+  pending.payload = std::move(payload);
+  pending.callback = std::move(callback);
+  pending.sent_at = sim_.now();
+  pending_.emplace(id, std::move(pending));
+  transmit(id);
+  arm_timer(id);
+}
+
+void RpcClient::transmit(RequestId id) {
+  const Pending& p = pending_.at(id);
+  net::LambdaHeader hdr;
+  hdr.workload_id = p.workload;
+  hdr.request_id = id;
+  // Single-packet requests go through parse+match directly; larger
+  // payloads are committed to NIC memory via RDMA (D3).
+  const PacketKind kind = p.payload.size() > net::kMaxPayload
+                              ? PacketKind::kRdmaWrite
+                              : PacketKind::kRequest;
+  auto frags = net::fragment(node_, p.dst, kind, hdr, p.payload);
+  for (auto& f : frags) network_.send(std::move(f));
+}
+
+void RpcClient::arm_timer(RequestId id) {
+  Pending& p = pending_.at(id);
+  p.timer = sim_.schedule(config_.retransmit_timeout,
+                          [this, id] { on_timeout(id); });
+}
+
+void RpcClient::on_timeout(RequestId id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  Pending& p = it->second;
+  p.timer = sim::kInvalidEvent;
+  if (p.retries >= config_.max_retries) {
+    ++failures_;
+    RpcCallback cb = std::move(p.callback);
+    pending_.erase(it);
+    if (cb) cb(make_error("rpc: request timed out after retries"));
+    return;
+  }
+  ++p.retries;
+  ++retransmissions_;
+  // Weakly-consistent delivery: resend the whole message; receivers
+  // treat duplicate (src, request id) pairs idempotently.
+  p.frags.clear();
+  p.received = 0;
+  transmit(id);
+  arm_timer(id);
+}
+
+void RpcClient::on_packet(const Packet& packet) {
+  if (packet.kind != PacketKind::kResponse) return;
+  auto it = pending_.find(packet.lambda.request_id);
+  if (it == pending_.end()) return;  // late duplicate after completion
+  Pending& p = it->second;
+  if (p.frags.empty()) p.frags.resize(packet.lambda.frag_count);
+  if (packet.lambda.frag_index >= p.frags.size()) return;
+  if (p.frags[packet.lambda.frag_index].empty()) {
+    p.frags[packet.lambda.frag_index] = packet.payload;
+    ++p.received;
+  }
+  if (p.received < p.frags.size()) return;
+
+  RpcResponse response;
+  for (auto& f : p.frags) {
+    response.payload.insert(response.payload.end(), f.begin(), f.end());
+  }
+  response.latency = sim_.now() - p.sent_at;
+  response.retries = p.retries;
+  if (p.timer != sim::kInvalidEvent) sim_.cancel(p.timer);
+  RpcCallback cb = std::move(p.callback);
+  pending_.erase(it);
+  if (cb) cb(std::move(response));
+}
+
+}  // namespace lnic::proto

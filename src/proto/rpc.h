@@ -1,0 +1,84 @@
+// Weakly-consistent RPC endpoint (paper §4.2.1 D3).
+//
+// λ-NIC deliberately avoids TCP: requests/responses are independent,
+// mutually-exclusive message pairs. "A sender (the gateway or external
+// services) tracks the outgoing RPCs to lambdas, and is responsible for
+// resending a message in case of timeouts or packet drops." This class
+// is that sender: it assigns request IDs, fragments multi-packet
+// payloads (RDMA-style writes), reassembles multi-fragment responses,
+// arms a retransmission timer per request, and reports per-request
+// latency and retry counts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace lnic::proto {
+
+struct RpcConfig {
+  SimDuration retransmit_timeout = milliseconds(50);
+  std::uint32_t max_retries = 5;
+};
+
+struct RpcResponse {
+  std::vector<std::uint8_t> payload;
+  SimDuration latency = 0;    // send -> complete response
+  std::uint32_t retries = 0;
+};
+
+using RpcCallback = std::function<void(Result<RpcResponse>)>;
+
+class RpcClient {
+ public:
+  RpcClient(sim::Simulator& sim, net::Network& network, RpcConfig config = {});
+
+  NodeId node() const { return node_; }
+
+  /// Issues one RPC. Multi-packet payloads are sent as RDMA writes; the
+  /// callback fires on the complete (reassembled) response or after
+  /// max_retries timeouts.
+  void call(NodeId dst, WorkloadId workload, std::vector<std::uint8_t> payload,
+            RpcCallback callback);
+
+  std::uint64_t retransmissions() const { return retransmissions_; }
+  std::uint64_t failures() const { return failures_; }
+  std::uint64_t inflight() const { return pending_.size(); }
+
+ private:
+  struct Pending {
+    NodeId dst;
+    WorkloadId workload;
+    std::vector<std::uint8_t> payload;
+    RpcCallback callback;
+    SimTime sent_at;
+    std::uint32_t retries = 0;
+    sim::EventId timer = sim::kInvalidEvent;
+    // Response reassembly.
+    std::vector<std::vector<std::uint8_t>> frags;
+    std::uint32_t received = 0;
+  };
+
+  void transmit(RequestId id);
+  void arm_timer(RequestId id);
+  void on_timeout(RequestId id);
+  void on_packet(const net::Packet& packet);
+
+  sim::Simulator& sim_;
+  net::Network& network_;
+  RpcConfig config_;
+  NodeId node_;
+  RequestId next_id_ = 1;
+  std::map<RequestId, Pending> pending_;
+  std::uint64_t retransmissions_ = 0;
+  std::uint64_t failures_ = 0;
+};
+
+}  // namespace lnic::proto

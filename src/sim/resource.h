@@ -1,0 +1,78 @@
+// Multi-server FIFO resource for discrete-event models.
+//
+// Models a pool of `servers` identical units (CPU cores, NPU threads,
+// DMA channels). Jobs acquire a unit, hold it for a caller-computed
+// service time, then release. Excess jobs wait in FIFO order. Utilization
+// is tracked for Table 3-style resource accounting.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/stats.h"
+#include "sim/simulator.h"
+
+namespace lnic::sim {
+
+class ServerPool {
+ public:
+  /// `on_start(server_index)` runs when a unit is granted; the job must be
+  /// finished by calling the provided completion callback pattern below.
+  ServerPool(Simulator& sim, std::uint32_t servers)
+      : sim_(sim), total_(servers), free_(servers) {
+    assert(servers > 0);
+  }
+
+  /// Submits a job that will occupy one server for `service` once granted.
+  /// `done` (may be null) runs at completion time.
+  void submit(SimDuration service, EventFn done = nullptr) {
+    queue_.push_back(Job{service, std::move(done), sim_.now()});
+    try_dispatch();
+  }
+
+  std::uint32_t servers() const { return total_; }
+  std::uint32_t busy() const { return total_ - free_; }
+  std::size_t queue_length() const { return queue_.size(); }
+  std::uint64_t completed() const { return completed_; }
+
+  /// Total busy server-time accumulated (for utilization computation).
+  SimDuration busy_time() const { return util_.busy_time(); }
+
+  /// Queueing delay distribution (time from submit to dispatch), in ns.
+  const Sampler& wait_samples() const { return waits_; }
+
+ private:
+  struct Job {
+    SimDuration service;
+    EventFn done;
+    SimTime submitted;
+  };
+
+  void try_dispatch() {
+    while (free_ > 0 && !queue_.empty()) {
+      Job job = std::move(queue_.front());
+      queue_.pop_front();
+      --free_;
+      waits_.add(static_cast<double>(sim_.now() - job.submitted));
+      util_.add_busy(job.service);
+      sim_.schedule(job.service, [this, done = std::move(job.done)]() {
+        ++free_;
+        ++completed_;
+        if (done) done();
+        try_dispatch();
+      });
+    }
+  }
+
+  Simulator& sim_;
+  std::uint32_t total_;
+  std::uint32_t free_;
+  std::deque<Job> queue_;
+  std::uint64_t completed_ = 0;
+  UtilizationTracker util_;
+  Sampler waits_;
+};
+
+}  // namespace lnic::sim

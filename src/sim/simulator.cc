@@ -1,0 +1,61 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+
+namespace lnic::sim {
+
+EventId Simulator::schedule(SimDuration delay, EventFn fn) {
+  assert(delay >= 0);
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::schedule_at(SimTime at, EventFn fn) {
+  assert(at >= now_);
+  const EventId id = next_id_++;
+  queue_.push(Event{at, next_seq_++, id});
+  handlers_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool Simulator::cancel(EventId id) {
+  auto it = handlers_.find(id);
+  if (it == handlers_.end()) return false;
+  handlers_.erase(it);
+  cancelled_.insert(id);
+  return true;
+}
+
+bool Simulator::pop_and_dispatch(SimTime limit) {
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    if (ev.time > limit) return false;
+    queue_.pop();
+    if (cancelled_.erase(ev.id) > 0) continue;  // skip cancelled
+    auto it = handlers_.find(ev.id);
+    assert(it != handlers_.end());
+    EventFn fn = std::move(it->second);
+    handlers_.erase(it);
+    now_ = ev.time;
+    ++dispatched_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Simulator::run() {
+  std::uint64_t n = 0;
+  while (pop_and_dispatch(kSimTimeMax)) ++n;
+  return n;
+}
+
+std::uint64_t Simulator::run_until(SimTime deadline) {
+  std::uint64_t n = 0;
+  while (pop_and_dispatch(deadline)) ++n;
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+bool Simulator::step() { return pop_and_dispatch(kSimTimeMax); }
+
+}  // namespace lnic::sim

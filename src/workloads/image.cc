@@ -1,0 +1,35 @@
+#include "workloads/image.h"
+
+namespace lnic::workloads {
+
+Image make_test_image(std::uint32_t width, std::uint32_t height,
+                      std::uint32_t seed) {
+  Image img;
+  img.width = width;
+  img.height = height;
+  img.rgba.resize(static_cast<std::size_t>(width) * height * 4);
+  std::uint32_t state = seed * 2654435761u + 1;
+  for (std::uint32_t y = 0; y < height; ++y) {
+    for (std::uint32_t x = 0; x < width; ++x) {
+      const std::size_t i = (static_cast<std::size_t>(y) * width + x) * 4;
+      state = state * 1664525u + 1013904223u;
+      img.rgba[i + 0] = static_cast<std::uint8_t>(x + (state & 31));
+      img.rgba[i + 1] = static_cast<std::uint8_t>(y + ((state >> 8) & 31));
+      img.rgba[i + 2] = static_cast<std::uint8_t>((x ^ y) + ((state >> 16) & 31));
+      img.rgba[i + 3] = 0xFF;
+    }
+  }
+  return img;
+}
+
+std::vector<std::uint8_t> to_grayscale(const Image& image) {
+  std::vector<std::uint8_t> gray(image.pixels());
+  for (std::uint64_t p = 0; p < image.pixels(); ++p) {
+    const std::uint8_t* px = image.rgba.data() + p * 4;
+    gray[p] = static_cast<std::uint8_t>(
+        (77u * px[0] + 150u * px[1] + 29u * px[2]) >> 8);
+  }
+  return gray;
+}
+
+}  // namespace lnic::workloads

@@ -1,0 +1,33 @@
+// Minimal RGBA image library for the image-transformer workload (§6.2c).
+// Provides deterministic test-pattern generation, RGBA->grayscale
+// reference conversion (the same integer luma the NIC intrinsic uses),
+// and byte (de)serialization for multi-packet transfer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lnic::workloads {
+
+struct Image {
+  std::uint32_t width = 0;
+  std::uint32_t height = 0;
+  std::vector<std::uint8_t> rgba;  // 4 bytes per pixel, row-major
+
+  Bytes byte_size() const { return rgba.size(); }
+  std::uint64_t pixels() const {
+    return static_cast<std::uint64_t>(width) * height;
+  }
+};
+
+/// Deterministic multi-gradient test pattern.
+Image make_test_image(std::uint32_t width, std::uint32_t height,
+                      std::uint32_t seed = 1);
+
+/// Reference conversion: y = (77 R + 150 G + 29 B) >> 8 per pixel —
+/// must agree byte-for-byte with the microc kGrayscale intrinsic.
+std::vector<std::uint8_t> to_grayscale(const Image& image);
+
+}  // namespace lnic::workloads

@@ -1,0 +1,112 @@
+// The paper's three benchmark lambdas (§6.2), written against the
+// Match+Lambda abstraction exactly as a user would submit them:
+//
+//  a. web server      — returns a static page selected by the request,
+//                       self-contained (content lives in lambda memory);
+//  b. key-value client— two distinct lambdas (GET-heavy and SET-heavy)
+//                       that derive keys, query the memcached-like cache
+//                       server via kExtCall, and post-process replies;
+//  c. image transformer— RGBA->grayscale over a multi-packet image that
+//                       arrives via RDMA (D3).
+//
+// The builders intentionally duplicate boilerplate helper functions
+// across lambdas (reply formatting in the web server and image
+// transformer; query formatting in the two KV clients) and include a
+// little dead debug code — this is the §6.4 optimizer fodder: lambda
+// coalescing merges the helpers, DCE strips the debris, and memory
+// stratification places the content/image/scratch objects.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "microc/ir.h"
+#include "p4/p4.h"
+
+namespace lnic::workloads {
+
+constexpr WorkloadId kWebServerId = 1;
+constexpr WorkloadId kKvGetId = 2;
+constexpr WorkloadId kKvSetId = 3;
+constexpr WorkloadId kImageId = 4;
+
+constexpr std::uint32_t kWebPageCount = 4;
+constexpr std::uint32_t kWebPageBytes = 1024;
+
+/// Unroll factors controlling each lambda's static code size. The
+/// defaults are calibrated so the four-lambda program lands near the
+/// paper's reported 8,902-instruction naïve binary (Fig. 9).
+struct Scale {
+  int web_mix_rounds = 444;
+  int kv_mix_rounds = 335;
+  int kv_post_rounds = 200;
+  int image_tiles = 32;
+  int image_mix_rounds = 295;
+  int helper_rounds = 65;    // size of each duplicated boilerplate helper
+  int dead_rounds = 12;      // dead debug code per lambda
+};
+
+/// A compiled-ready workload set: the user lambdas plus the P4 match
+/// spec pairing them (§4.1's Match+Lambda program, before compilation).
+struct WorkloadBundle {
+  microc::Program lambdas;
+  p4::MatchSpec spec;
+  std::uint32_t image_width = 512;
+  std::uint32_t image_height = 512;
+  std::vector<std::string> web_pages;  // ground truth for verification
+};
+
+/// Builds the standard four-lambda bundle the evaluation uses
+/// (web server, KV GET client, KV SET client, image transformer).
+WorkloadBundle make_standard_workloads(Scale scale = {},
+                                       std::uint32_t image_width = 512,
+                                       std::uint32_t image_height = 512);
+
+constexpr WorkloadId kNicKvStoreId = 7;
+
+/// §7 extension ("certain types of data stores ... can also benefit from
+/// λ-NIC"): a NetCache-style key-value *store* served directly from NIC
+/// memory — GET/SET against an open-addressing hash table in a global
+/// object, no external server involved. Request encoding: op word 0
+/// (0 = GET, 1 = SET), key word 1, value word 2 (encode_kv_request).
+/// Response: one word (the value, or 0 on miss). `slots_log2` sizes the
+/// table at 2^slots_log2 entries of 24 B.
+WorkloadBundle make_nic_kv_store(std::uint32_t slots_log2 = 12);
+
+constexpr WorkloadId kStreamId = 8;
+
+/// Stream-processing aggregator (the intro's motivating workload class:
+/// "workloads like stream processing benefit from high elasticity").
+/// Each request carries (sensor=key, sample=value); the lambda keeps an
+/// 8-sample sliding window per sensor in global memory and replies with
+/// [sum, min, max, count] of the window. Authored in Micro-C *source*
+/// and compiled through the frontend — the full Listing 1-2 path.
+WorkloadBundle make_stream_aggregator(std::uint32_t sensors_log2 = 8);
+
+/// Builds a bundle of `count` *distinct* web-server lambdas (different
+/// content, same structure), workload IDs 1..count — the §6.3.2
+/// contention experiment runs three of these concurrently. Function
+/// names are "web_server_0" .. "web_server_<count-1>".
+WorkloadBundle make_web_farm(std::uint32_t count, Scale scale = {});
+
+/// The page the web server returns for request op `op`.
+const std::string& expected_web_page(const WorkloadBundle& bundle,
+                                     std::uint64_t op);
+
+/// Encodes a web request body (op word selecting the page).
+std::vector<std::uint8_t> encode_web_request(std::uint64_t op);
+/// Encodes a KV request body (op, key, value words).
+std::vector<std::uint8_t> encode_kv_request(std::uint64_t key,
+                                            std::uint64_t value = 0);
+/// Encodes a NIC-hosted KV store request (op 0 = GET, 1 = SET).
+std::vector<std::uint8_t> encode_kv_store_request(std::uint64_t op,
+                                                  std::uint64_t key,
+                                                  std::uint64_t value = 0);
+/// Encodes an image request body: dimensions word + raw RGBA bytes.
+std::vector<std::uint8_t> encode_image_request(
+    std::uint32_t width, std::uint32_t height,
+    const std::vector<std::uint8_t>& rgba);
+
+}  // namespace lnic::workloads

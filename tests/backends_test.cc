@@ -1,0 +1,161 @@
+// Tests for the Backend interface: all three backends serve identical
+// bytes, the paper's latency ordering holds, and the resource/startup
+// models report Table 3/4-shaped values.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "backends/backend.h"
+#include "kvstore/cache_server.h"
+#include "net/network.h"
+#include "proto/rpc.h"
+#include "sim/simulator.h"
+#include "workloads/lambdas.h"
+
+namespace lnic::backends {
+namespace {
+
+struct Rig {
+  sim::Simulator sim;
+  net::Network network{sim};
+  std::unique_ptr<Backend> backend;
+  std::unique_ptr<kvstore::CacheServer> cache;
+  std::unique_ptr<proto::RpcClient> client;
+
+  explicit Rig(BackendKind kind, std::uint32_t threads = 56) {
+    backend = make_backend(kind, sim, network, threads);
+    cache = std::make_unique<kvstore::CacheServer>(sim, network);
+    backend->set_kv_server(cache->node());
+    proto::RpcConfig rpc;
+    rpc.retransmit_timeout = seconds(30);  // isolate from retransmits
+    client = std::make_unique<proto::RpcClient>(sim, network, rpc);
+    EXPECT_TRUE(backend->deploy(workloads::make_standard_workloads()).ok());
+    sim.run_until(seconds(20));  // pass NIC firmware-load downtime
+  }
+
+  Result<proto::RpcResponse> call(WorkloadId wid,
+                                  std::vector<std::uint8_t> payload) {
+    std::optional<Result<proto::RpcResponse>> slot;
+    client->call(backend->node(), wid, std::move(payload),
+                 [&](Result<proto::RpcResponse> r) { slot = std::move(r); });
+    sim.run();
+    if (!slot.has_value()) return make_error("no response");
+    return std::move(*slot);
+  }
+};
+
+class AllBackendsTest : public ::testing::TestWithParam<BackendKind> {};
+
+TEST_P(AllBackendsTest, WebResponseIdenticalBytes) {
+  Rig rig(GetParam());
+  auto bundle = workloads::make_standard_workloads();
+  auto r = rig.call(workloads::kWebServerId, workloads::encode_web_request(1));
+  ASSERT_TRUE(r.ok()) << r.error().message;
+  const auto& payload = r.value().payload;
+  ASSERT_EQ(payload.size(), 8u + workloads::kWebPageBytes);
+  EXPECT_EQ(std::string(payload.begin() + 8, payload.end()),
+            workloads::expected_web_page(bundle, 1));
+}
+
+TEST_P(AllBackendsTest, KvRoundTrip) {
+  Rig rig(GetParam());
+  rig.cache->put(123, 456);
+  auto r = rig.call(workloads::kKvGetId, workloads::encode_kv_request(123));
+  ASSERT_TRUE(r.ok());
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(r.value().payload[i]) << (8 * i);
+  }
+  EXPECT_EQ(v, 456u);
+}
+
+TEST_P(AllBackendsTest, StartupProfilePositive) {
+  Rig rig(GetParam());
+  const auto profile = rig.backend->startup_profile();
+  EXPECT_GT(profile.artifact_bytes, 0u);
+  EXPECT_GT(profile.startup_time, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, AllBackendsTest,
+                         ::testing::Values(BackendKind::kLambdaNic,
+                                           BackendKind::kBareMetal,
+                                           BackendKind::kContainer),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param)) ==
+                                          "lambda-nic"
+                                      ? "LambdaNic"
+                                  : to_string(info.param) ==
+                                          std::string("bare-metal")
+                                      ? "BareMetal"
+                                      : "Container";
+                         });
+
+TEST(Backends, LatencyOrderingMatchesPaper) {
+  // The headline ordering (Fig. 6): λ-NIC < bare metal < container.
+  SimDuration latency[3];
+  const BackendKind kinds[] = {BackendKind::kLambdaNic,
+                               BackendKind::kBareMetal,
+                               BackendKind::kContainer};
+  for (int k = 0; k < 3; ++k) {
+    Rig rig(kinds[k]);
+    auto r = rig.call(workloads::kWebServerId,
+                      workloads::encode_web_request(0));
+    ASSERT_TRUE(r.ok());
+    latency[k] = r.value().latency;
+  }
+  EXPECT_LT(latency[0], latency[1]);
+  EXPECT_LT(latency[1], latency[2]);
+  // Order-of-magnitude ratios from the paper: ~30x and ~880x for the
+  // mean web-server latency. Enforce loose bands (10-100x, 300-3000x).
+  const double bm = static_cast<double>(latency[1]) / latency[0];
+  const double ct = static_cast<double>(latency[2]) / latency[0];
+  EXPECT_GT(bm, 10.0);
+  EXPECT_LT(bm, 100.0);
+  EXPECT_GT(ct, 300.0);
+  EXPECT_LT(ct, 3000.0);
+}
+
+TEST(Backends, LambdaNicLeavesHostIdle) {
+  Rig rig(BackendKind::kLambdaNic);
+  for (int i = 0; i < 20; ++i) {
+    auto r = rig.call(workloads::kWebServerId,
+                      workloads::encode_web_request(i & 3));
+    ASSERT_TRUE(r.ok());
+  }
+  const auto usage = rig.backend->usage(rig.sim.now());
+  EXPECT_LT(usage.host_cpu_percent, 1.0);
+  EXPECT_EQ(usage.host_memory, 0u);
+  EXPECT_GT(usage.nic_memory, 0u);
+}
+
+TEST(Backends, ContainerUsesMoreHostMemoryThanBareMetal) {
+  Rig bm(BackendKind::kBareMetal);
+  Rig ct(BackendKind::kContainer);
+  auto r1 = bm.call(workloads::kWebServerId, workloads::encode_web_request(0));
+  auto r2 = ct.call(workloads::kWebServerId, workloads::encode_web_request(0));
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_GT(ct.backend->usage(ct.sim.now()).host_memory,
+            bm.backend->usage(bm.sim.now()).host_memory);
+}
+
+TEST(Backends, StartupOrderingMatchesTable4) {
+  sim::Simulator sim;
+  net::Network network(sim);
+  auto nic = make_backend(BackendKind::kLambdaNic, sim, network);
+  auto bm = make_backend(BackendKind::kBareMetal, sim, network);
+  auto ct = make_backend(BackendKind::kContainer, sim, network);
+  const auto pn = nic->startup_profile();
+  const auto pb = bm->startup_profile();
+  const auto pc = ct->startup_profile();
+  // Table 4: sizes 11 / 17 / 153 MiB; times 19.8 / 5.0 / 31.7 s.
+  EXPECT_LT(pn.artifact_bytes, pb.artifact_bytes);
+  EXPECT_LT(pb.artifact_bytes, pc.artifact_bytes);
+  EXPECT_LT(pb.startup_time, pn.startup_time);
+  EXPECT_LT(pn.startup_time, pc.startup_time);
+  EXPECT_NEAR(to_sec(pn.startup_time), 19.8, 0.5);
+  EXPECT_NEAR(to_sec(pb.startup_time), 5.0, 0.3);
+  EXPECT_NEAR(to_sec(pc.startup_time), 31.7, 1.0);
+}
+
+}  // namespace
+}  // namespace lnic::backends

@@ -1,0 +1,501 @@
+// Tests for the framework layer: gateway routing/metrics, route
+// encoding, etcd synchronization, manager deployment records, metrics
+// rendering, storage, and the autoscaler control loop.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "backends/backend.h"
+#include "framework/autoscaler.h"
+#include "framework/gateway.h"
+#include "framework/manager.h"
+#include "framework/health.h"
+#include "framework/monitor.h"
+#include "framework/metrics.h"
+#include "framework/storage.h"
+#include "kvstore/cache_server.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "workloads/lambdas.h"
+
+namespace lnic::framework {
+namespace {
+
+TEST(Metrics, CountersGaugesSamplersRender) {
+  MetricsRegistry registry;
+  registry.counter("requests_total").increment(3);
+  registry.gauge("replicas") = 2.0;
+  registry.sampler("latency").add(10.0);
+  registry.sampler("latency").add(20.0);
+  const std::string text = registry.render();
+  EXPECT_NE(text.find("requests_total 3"), std::string::npos);
+  EXPECT_NE(text.find("replicas 2"), std::string::npos);
+  EXPECT_NE(text.find("latency_count 2"), std::string::npos);
+  EXPECT_NE(text.find("latency_mean 15"), std::string::npos);
+  EXPECT_TRUE(registry.has("requests_total"));
+  EXPECT_FALSE(registry.has("nope"));
+}
+
+TEST(Storage, PutGetTransferTime) {
+  BlobStorage storage(1e9);
+  storage.put("fw", 1_MiB);
+  EXPECT_TRUE(storage.contains("fw"));
+  EXPECT_FALSE(storage.contains("nope"));
+  ASSERT_TRUE(storage.size_of("fw").ok());
+  EXPECT_EQ(storage.size_of("fw").value(), 1_MiB);
+  EXPECT_FALSE(storage.size_of("nope").ok());
+  const auto t = storage.transfer_time("fw");
+  ASSERT_TRUE(t.ok());
+  EXPECT_NEAR(to_sec(t.value()), 8.389e-3, 1e-4);
+  EXPECT_EQ(storage.list().size(), 1u);
+}
+
+TEST(Gateway, RouteEncodingRoundTrips) {
+  const auto encoded = Gateway::encode_route(7, {1, 2, 3});
+  EXPECT_EQ(encoded, "7|1,2,3");
+  const auto decoded = Gateway::decode_route(encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().workload, 7u);
+  EXPECT_EQ(decoded.value().workers, (std::vector<NodeId>{1, 2, 3}));
+  EXPECT_FALSE(Gateway::decode_route("garbage").ok());
+  EXPECT_FALSE(Gateway::decode_route("x|1").ok());
+}
+
+struct GatewayRig {
+  sim::Simulator sim;
+  net::Network network{sim};
+  std::unique_ptr<backends::Backend> backend;
+  std::unique_ptr<kvstore::CacheServer> cache;
+  Gateway gateway{sim, network};
+
+  GatewayRig() {
+    backend = backends::make_backend(backends::BackendKind::kLambdaNic, sim,
+                                     network);
+    cache = std::make_unique<kvstore::CacheServer>(sim, network);
+    backend->set_kv_server(cache->node());
+    EXPECT_TRUE(backend->deploy(workloads::make_standard_workloads()).ok());
+    sim.run_until(seconds(20));
+  }
+};
+
+TEST(Gateway, InvokesByNameAndRecordsMetrics) {
+  GatewayRig rig;
+  rig.gateway.register_function("web_server", workloads::kWebServerId,
+                                {rig.backend->node()});
+  std::optional<Result<proto::RpcResponse>> got;
+  rig.gateway.invoke("web_server", workloads::encode_web_request(0),
+                     [&](Result<proto::RpcResponse> r) { got = std::move(r); });
+  rig.sim.run();
+  ASSERT_TRUE(got.has_value());
+  ASSERT_TRUE(got->ok());
+  EXPECT_EQ(rig.gateway.metrics()
+                .counter("gateway_requests_total{fn=web_server}")
+                .value(),
+            1u);
+  EXPECT_EQ(rig.gateway.latency("web_server").count(), 1u);
+}
+
+TEST(Gateway, UnroutableFunctionFailsFast) {
+  GatewayRig rig;
+  bool failed = false;
+  rig.gateway.invoke("missing", {}, [&](Result<proto::RpcResponse> r) {
+    EXPECT_FALSE(r.ok());
+    failed = true;
+  });
+  rig.sim.run();
+  EXPECT_TRUE(failed);
+  EXPECT_EQ(rig.gateway.metrics().counter("gateway_unroutable_total").value(),
+            1u);
+}
+
+TEST(Gateway, RoundRobinAcrossWorkers) {
+  sim::Simulator sim;
+  net::Network network(sim);
+  // Two raw echo workers record hit counts.
+  int hits[2] = {0, 0};
+  NodeId w[2];
+  for (int i = 0; i < 2; ++i) {
+    w[i] = network.attach(nullptr);
+  }
+  for (int i = 0; i < 2; ++i) {
+    network.set_handler(w[i], [&, i](const net::Packet& p) {
+      if (p.kind != net::PacketKind::kRequest) return;
+      ++hits[i];
+      net::Packet reply;
+      reply.src = w[i];
+      reply.dst = p.src;
+      reply.kind = net::PacketKind::kResponse;
+      reply.lambda = p.lambda;
+      network.send(reply);
+    });
+  }
+  Gateway gateway(sim, network);
+  gateway.register_function("f", 1, {w[0], w[1]});
+  int done = 0;
+  for (int i = 0; i < 10; ++i) {
+    gateway.invoke("f", {}, [&](Result<proto::RpcResponse> r) {
+      EXPECT_TRUE(r.ok());
+      ++done;
+    });
+  }
+  sim.run();
+  EXPECT_EQ(done, 10);
+  EXPECT_EQ(hits[0], 5);
+  EXPECT_EQ(hits[1], 5);
+}
+
+TEST(Gateway, SyncsRoutesFromEtcd) {
+  sim::Simulator sim;
+  net::Network network(sim);
+  kvstore::EtcdStore etcd(sim, 3);
+  etcd.start();
+  sim.run_until(seconds(2));
+  ASSERT_TRUE(etcd.put("route/fn_a", Gateway::encode_route(5, {9})).ok());
+  sim.run_until(seconds(3));
+
+  Gateway gateway(sim, network);
+  gateway.sync_with(etcd);
+  ASSERT_TRUE(gateway.has_function("fn_a"));  // existing entries applied
+  // Watch picks up later changes.
+  ASSERT_TRUE(etcd.put("route/fn_b", Gateway::encode_route(6, {4, 5})).ok());
+  sim.run_until(seconds(4));
+  ASSERT_TRUE(gateway.has_function("fn_b"));
+  EXPECT_EQ(gateway.route("fn_b")->workload, 6u);
+}
+
+TEST(Manager, DeployRegistersRoutesAndArtifacts) {
+  GatewayRig rig;
+  BlobStorage storage;
+  WorkloadManager manager(rig.sim, storage, nullptr);
+  auto record = manager.deploy(workloads::make_standard_workloads(),
+                               *rig.backend, &rig.gateway);
+  ASSERT_TRUE(record.ok()) << record.error().message;
+  EXPECT_EQ(record.value().functions.size(), 4u);
+  EXPECT_GT(record.value().artifact_bytes, 0u);
+  EXPECT_GT(record.value().startup_time, 0);
+  EXPECT_TRUE(rig.gateway.has_function("web_server"));
+  EXPECT_TRUE(rig.gateway.has_function("image_transformer"));
+  EXPECT_FALSE(storage.list().empty());
+  EXPECT_EQ(manager.deployments().size(), 1u);
+}
+
+TEST(Manager, SecondDeploymentAddsWorkerReplica) {
+  GatewayRig rig;
+  auto backend2 = backends::make_backend(backends::BackendKind::kLambdaNic,
+                                         rig.sim, rig.network);
+  backend2->set_kv_server(rig.cache->node());
+  BlobStorage storage;
+  WorkloadManager manager(rig.sim, storage, nullptr);
+  ASSERT_TRUE(manager
+                  .deploy(workloads::make_standard_workloads(), *rig.backend,
+                          &rig.gateway)
+                  .ok());
+  ASSERT_TRUE(manager
+                  .deploy(workloads::make_standard_workloads(), *backend2,
+                          &rig.gateway)
+                  .ok());
+  EXPECT_EQ(rig.gateway.route("web_server")->workers.size(), 2u);
+}
+
+TEST(Gateway, RateLimitThrottlesExcessTraffic) {
+  // §7 security: the gateway blocks malicious request floods.
+  sim::Simulator sim;
+  net::Network network(sim);
+  NodeId worker = network.attach(nullptr);
+  network.set_handler(worker, [&](const net::Packet& p) {
+    if (p.kind != net::PacketKind::kRequest) return;
+    net::Packet reply;
+    reply.src = worker;
+    reply.dst = p.src;
+    reply.kind = net::PacketKind::kResponse;
+    reply.lambda = p.lambda;
+    network.send(reply);
+  });
+  Gateway gateway(sim, network);
+  gateway.register_function("f", 1, {worker});
+  gateway.set_rate_limit("f", RateLimit{/*rps=*/100.0, /*burst=*/10.0});
+
+  int ok = 0, throttled = 0;
+  // Burst of 50 back-to-back requests: ~10 pass (the burst), rest fail.
+  for (int i = 0; i < 50; ++i) {
+    gateway.invoke("f", {}, [&](Result<proto::RpcResponse> r) {
+      if (r.ok()) {
+        ++ok;
+      } else {
+        ++throttled;
+      }
+    });
+  }
+  sim.run();
+  EXPECT_EQ(ok, 10);
+  EXPECT_EQ(throttled, 40);
+  EXPECT_EQ(gateway.metrics().counter("gateway_throttled_total{fn=f}").value(),
+            40u);
+
+  // After a second the bucket refills and requests flow again.
+  sim.run_until(sim.now() + seconds(1));
+  gateway.invoke("f", {}, [&](Result<proto::RpcResponse> r) {
+    EXPECT_TRUE(r.ok());
+    ++ok;
+  });
+  sim.run();
+  EXPECT_EQ(ok, 11);
+}
+
+TEST(Gateway, SteadyRateUnderLimitPasses) {
+  sim::Simulator sim;
+  net::Network network(sim);
+  NodeId worker = network.attach(nullptr);
+  network.set_handler(worker, [&](const net::Packet& p) {
+    if (p.kind != net::PacketKind::kRequest) return;
+    net::Packet reply;
+    reply.src = worker;
+    reply.dst = p.src;
+    reply.kind = net::PacketKind::kResponse;
+    reply.lambda = p.lambda;
+    network.send(reply);
+  });
+  Gateway gateway(sim, network);
+  gateway.register_function("f", 1, {worker});
+  gateway.set_rate_limit("f", RateLimit{1000.0, 2.0});
+  int ok = 0;
+  sim::PeriodicTimer load(sim, milliseconds(2), [&] {  // 500 rps < 1000
+    gateway.invoke("f", {}, [&](Result<proto::RpcResponse> r) {
+      if (r.ok()) ++ok;
+    });
+  });
+  load.start();
+  sim.run_until(seconds(1));
+  load.stop();
+  sim.run();
+  EXPECT_EQ(ok, 500);
+}
+
+TEST(Gateway, FailsOverToReplicaWhenWorkerDies) {
+  sim::Simulator sim;
+  net::Network network(sim);
+  // Worker 0 is dead (never replies); worker 1 echoes.
+  NodeId dead = network.attach(nullptr);
+  NodeId live = network.attach(nullptr);
+  network.set_handler(live, [&](const net::Packet& p) {
+    if (p.kind != net::PacketKind::kRequest) return;
+    net::Packet reply;
+    reply.src = live;
+    reply.dst = p.src;
+    reply.kind = net::PacketKind::kResponse;
+    reply.lambda = p.lambda;
+    reply.payload = {42};
+    network.send(reply);
+  });
+  GatewayConfig config;
+  config.failover_attempts = 1;
+  config.rpc.retransmit_timeout = milliseconds(5);
+  config.rpc.max_retries = 2;
+  Gateway gateway(sim, network, config);
+  gateway.register_function("f", 1, {dead, live});
+
+  int ok = 0, failed = 0;
+  for (int i = 0; i < 6; ++i) {
+    gateway.invoke("f", {}, [&](Result<proto::RpcResponse> r) {
+      if (r.ok()) {
+        ++ok;
+      } else {
+        ++failed;
+      }
+    });
+  }
+  sim.run();
+  // Requests that initially hit the dead worker fail over to the live
+  // one; after the first failure the dead worker is dropped from the
+  // route entirely.
+  EXPECT_EQ(ok, 6);
+  EXPECT_EQ(failed, 0);
+  ASSERT_NE(gateway.route("f"), nullptr);
+  EXPECT_EQ(gateway.route("f")->workers,
+            (std::vector<NodeId>{live}));
+  EXPECT_GE(
+      gateway.metrics().counter("gateway_failovers_total{fn=f}").value(), 1u);
+}
+
+TEST(Gateway, FailoverExhaustionReportsError) {
+  sim::Simulator sim;
+  net::Network network(sim);
+  NodeId dead1 = network.attach(nullptr);
+  NodeId dead2 = network.attach(nullptr);
+  GatewayConfig config;
+  config.failover_attempts = 1;
+  config.rpc.retransmit_timeout = milliseconds(2);
+  config.rpc.max_retries = 1;
+  Gateway gateway(sim, network, config);
+  gateway.register_function("f", 1, {dead1, dead2});
+  bool failed = false;
+  gateway.invoke("f", {}, [&](Result<proto::RpcResponse> r) {
+    EXPECT_FALSE(r.ok());
+    failed = true;
+  });
+  sim.run();
+  EXPECT_TRUE(failed);
+}
+
+TEST(Gateway, RemoveWorkerDropsFromAllRoutes) {
+  sim::Simulator sim;
+  net::Network network(sim);
+  Gateway gateway(sim, network);
+  gateway.register_function("a", 1, {10, 11});
+  gateway.register_function("b", 2, {11, 12});
+  gateway.remove_worker(11);
+  EXPECT_EQ(gateway.route("a")->workers, (std::vector<NodeId>{10}));
+  EXPECT_EQ(gateway.route("b")->workers, (std::vector<NodeId>{12}));
+}
+
+TEST(Monitor, ScrapesBackendGauges) {
+  sim::Simulator sim;
+  net::Network network(sim);
+  auto backend = backends::make_backend(backends::BackendKind::kLambdaNic,
+                                        sim, network);
+  ASSERT_TRUE(backend->deploy(workloads::make_standard_workloads()).ok());
+  Monitor monitor(sim, milliseconds(100));
+  monitor.watch_backend("m2", backend.get());
+  monitor.start();
+  sim.run_until(seconds(1));
+  monitor.stop();
+  sim.run();
+  EXPECT_GE(monitor.scrapes(), 9u);
+  EXPECT_TRUE(monitor.metrics().has("backend_completed{node=m2}"));
+  EXPECT_GT(monitor.metrics().gauge("backend_nic_mem_mib{node=m2}"), 0.0);
+}
+
+TEST(HealthChecker, RemovesDeadWorkerFromRoutes) {
+  sim::Simulator sim;
+  net::Network network(sim);
+  // One live echo worker, one that dies after 200 ms.
+  bool worker0_alive = true;
+  NodeId w0 = network.attach(nullptr);
+  NodeId w1 = network.attach(nullptr);
+  auto echo = [&](NodeId self, bool* alive) {
+    return [&network, self, alive](const net::Packet& p) {
+      if (alive != nullptr && !*alive) return;
+      if (p.kind != net::PacketKind::kRequest) return;
+      net::Packet reply;
+      reply.src = self;
+      reply.dst = p.src;
+      reply.kind = net::PacketKind::kResponse;
+      reply.lambda = p.lambda;
+      network.send(reply);
+    };
+  };
+  network.set_handler(w0, echo(w0, &worker0_alive));
+  network.set_handler(w1, echo(w1, nullptr));
+
+  Gateway gateway(sim, network);
+  gateway.register_function("f", 1, {w0, w1});
+
+  HealthConfig config;
+  config.probe_interval = milliseconds(100);
+  config.probe_timeout = milliseconds(30);
+  config.max_failures = 3;
+  HealthChecker checker(sim, network, gateway, config);
+  checker.watch(w0, {});
+  checker.watch(w1, {});
+  NodeId reported_dead = kInvalidNode;
+  checker.set_on_dead([&](NodeId n) { reported_dead = n; });
+  checker.start();
+
+  sim.run_until(milliseconds(250));
+  EXPECT_TRUE(checker.is_healthy(w0));
+  EXPECT_TRUE(checker.is_healthy(w1));
+
+  worker0_alive = false;  // w0 crashes
+  sim.run_until(milliseconds(250) + milliseconds(600));
+  checker.stop();
+  sim.run();
+  EXPECT_FALSE(checker.is_healthy(w0));
+  EXPECT_TRUE(checker.is_healthy(w1));
+  EXPECT_EQ(reported_dead, w0);
+  EXPECT_EQ(checker.removals(), 1u);
+  EXPECT_EQ(gateway.route("f")->workers, (std::vector<NodeId>{w1}));
+}
+
+TEST(HealthChecker, TransientFailureDoesNotKill) {
+  sim::Simulator sim;
+  net::Network network(sim);
+  int drop_next = 1;  // drop exactly one probe
+  NodeId w = network.attach(nullptr);
+  network.set_handler(w, [&](const net::Packet& p) {
+    if (p.kind != net::PacketKind::kRequest) return;
+    if (drop_next > 0) {
+      --drop_next;
+      return;
+    }
+    net::Packet reply;
+    reply.src = w;
+    reply.dst = p.src;
+    reply.kind = net::PacketKind::kResponse;
+    reply.lambda = p.lambda;
+    network.send(reply);
+  });
+  Gateway gateway(sim, network);
+  gateway.register_function("f", 1, {w});
+  HealthConfig config;
+  config.probe_interval = milliseconds(50);
+  config.probe_timeout = milliseconds(20);
+  config.max_failures = 3;
+  HealthChecker checker(sim, network, gateway, config);
+  checker.watch(w, {});
+  checker.start();
+  sim.run_until(milliseconds(500));
+  checker.stop();
+  sim.run();
+  EXPECT_TRUE(checker.is_healthy(w));
+  EXPECT_EQ(gateway.route("f")->workers.size(), 1u);
+}
+
+TEST(Autoscaler, ScalesUpUnderLoadAndBackDown) {
+  sim::Simulator sim;
+  net::Network network(sim);
+  Gateway gateway(sim, network);
+  // A single instant echo worker keeps requests flowing.
+  NodeId worker = network.attach(nullptr);
+  network.set_handler(worker, [&](const net::Packet& p) {
+    if (p.kind != net::PacketKind::kRequest) return;
+    net::Packet reply;
+    reply.src = worker;
+    reply.dst = p.src;
+    reply.kind = net::PacketKind::kResponse;
+    reply.lambda = p.lambda;
+    network.send(reply);
+  });
+  gateway.register_function("hot", 1, {worker});
+
+  std::map<std::string, std::uint32_t> provisioned;
+  AutoscalerConfig config;
+  config.evaluation_period = milliseconds(100);
+  config.target_rps_per_replica = 100.0;
+  config.max_replicas = 10;
+  Autoscaler scaler(sim, gateway, config,
+                    [&](const std::string& name, std::uint32_t replicas) {
+                      provisioned[name] = replicas;
+                    });
+  scaler.track("hot");
+  scaler.start();
+
+  // Offer ~1000 rps for half a second.
+  sim::PeriodicTimer load(sim, milliseconds(1), [&] {
+    gateway.invoke("hot", {}, nullptr);
+  });
+  load.start();
+  sim.run_until(milliseconds(500));
+  load.stop();
+  EXPECT_GE(scaler.replicas("hot"), 5u);
+  EXPECT_GE(provisioned["hot"], 5u);
+
+  // Load stops; the scaler settles back to the minimum.
+  sim.run_until(milliseconds(1500));
+  scaler.stop();
+  sim.run();
+  EXPECT_EQ(scaler.replicas("hot"), config.min_replicas);
+  EXPECT_GT(scaler.scale_events(), 1u);
+}
+
+}  // namespace
+}  // namespace lnic::framework

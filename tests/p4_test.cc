@@ -1,0 +1,193 @@
+// Tests for the mini-P4 model and its lowering: both modes must decide
+// identically (table semantics preserved by if-else conversion), the
+// naïve program must be strictly larger, and parser inference must track
+// actual header usage.
+#include <gtest/gtest.h>
+
+#include "microc/builder.h"
+#include "microc/interp.h"
+#include "microc/verify.h"
+#include "p4/lower.h"
+#include "p4/p4.h"
+
+namespace lnic::p4 {
+namespace {
+
+using microc::HeaderField;
+using microc::Invocation;
+using microc::Machine;
+using microc::ObjectStore;
+using microc::Outcome;
+using microc::Program;
+using microc::ProgramBuilder;
+using microc::RunState;
+
+// Two trivial lambdas returning distinct codes; lambda B reads kHdrKey.
+Program make_lambdas() {
+  ProgramBuilder pb("test");
+  {
+    auto fb = pb.function("lambda_a", 0);
+    fb.ret_imm(101);
+    fb.finish();
+  }
+  {
+    auto fb = pb.function("lambda_b", 0);
+    auto k = fb.load_hdr(microc::kHdrKey);
+    auto r = fb.add_imm(k, 200);
+    fb.ret(r);
+    fb.finish();
+  }
+  return pb.take();
+}
+
+MatchSpec make_spec() {
+  MatchSpec spec;
+  spec.tables.push_back(make_lambda_table("lambda_a", 7));
+  spec.tables.push_back(make_lambda_table("lambda_b", 9));
+  spec.tables.push_back(make_route_table("lambda_a", 7));
+  spec.tables.push_back(make_route_table("lambda_b", 9));
+  return spec;
+}
+
+Outcome dispatch(const Program& program, WorkloadId wid,
+                 std::uint64_t key = 0, std::uint64_t src = 0) {
+  ObjectStore store(program);
+  Machine machine(program, microc::CostModel::npu(), &store);
+  Invocation inv;
+  inv.headers.fields[microc::kHdrWorkloadId] = wid;
+  inv.headers.fields[microc::kHdrKey] = key;
+  inv.headers.fields[microc::kHdrSrcNode] = src;
+  inv.match_data = {1};
+  return machine.run(inv);
+}
+
+TEST(MatchSpec, ReferencedFieldsDeduplicated) {
+  const MatchSpec spec = make_spec();
+  const auto fields = spec.referenced_fields();
+  EXPECT_EQ(fields.size(), 2u);  // workload id + src node
+  EXPECT_EQ(spec.total_entries(), 2u + 8u);
+}
+
+class LoweringModeTest : public ::testing::TestWithParam<LoweringMode> {};
+
+TEST_P(LoweringModeTest, DispatchSelectsMatchingLambda) {
+  Program program = make_lambdas();
+  ASSERT_TRUE(lower_match_stage(make_spec(), program, GetParam()).ok());
+  ASSERT_TRUE(microc::verify(program).ok());
+
+  auto a = dispatch(program, 7);
+  ASSERT_EQ(a.state, RunState::kDone);
+  EXPECT_EQ(a.return_value, 101u);
+
+  auto b = dispatch(program, 9, /*key=*/5);
+  ASSERT_EQ(b.state, RunState::kDone);
+  EXPECT_EQ(b.return_value, 205u);
+}
+
+TEST_P(LoweringModeTest, UnknownWorkloadFallsThroughToHost) {
+  Program program = make_lambdas();
+  ASSERT_TRUE(lower_match_stage(make_spec(), program, GetParam()).ok());
+  auto miss = dispatch(program, 999);
+  ASSERT_EQ(miss.state, RunState::kDone);
+  EXPECT_EQ(miss.return_value, kReturnToHost);
+}
+
+TEST_P(LoweringModeTest, LambdaEntriesPopulated) {
+  Program program = make_lambdas();
+  ASSERT_TRUE(lower_match_stage(make_spec(), program, GetParam()).ok());
+  ASSERT_EQ(program.lambda_entries.size(), 2u);
+  EXPECT_EQ(program.lambda_entries[0].first, 7u);
+  EXPECT_EQ(program.lambda_entries[1].first, 9u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, LoweringModeTest,
+                         ::testing::Values(LoweringMode::kNaive,
+                                           LoweringMode::kReduced));
+
+TEST(Lowering, NaiveIsStrictlyLargerThanReduced) {
+  Program naive = make_lambdas();
+  ASSERT_TRUE(
+      lower_match_stage(make_spec(), naive, LoweringMode::kNaive).ok());
+  Program reduced = make_lambdas();
+  ASSERT_TRUE(
+      lower_match_stage(make_spec(), reduced, LoweringMode::kReduced).ok());
+  EXPECT_GT(microc::code_size(naive), microc::code_size(reduced));
+}
+
+TEST(Lowering, NaiveParsesAllFieldsReducedOnlyUsed) {
+  Program naive = make_lambdas();
+  ASSERT_TRUE(
+      lower_match_stage(make_spec(), naive, LoweringMode::kNaive).ok());
+  EXPECT_EQ(naive.parsed_fields.size(),
+            static_cast<std::size_t>(microc::kHdrFieldCount));
+
+  Program reduced = make_lambdas();
+  ASSERT_TRUE(
+      lower_match_stage(make_spec(), reduced, LoweringMode::kReduced).ok());
+  // lambda_b reads kHdrKey; the match stage needs kHdrWorkloadId.
+  EXPECT_EQ(reduced.parsed_fields.size(), 2u);
+}
+
+TEST(Lowering, RelowerIsIdempotentOnSize) {
+  Program program = make_lambdas();
+  ASSERT_TRUE(
+      lower_match_stage(make_spec(), program, LoweringMode::kNaive).ok());
+  const auto first = microc::code_size(program);
+  ASSERT_TRUE(
+      lower_match_stage(make_spec(), program, LoweringMode::kNaive).ok());
+  EXPECT_EQ(microc::code_size(program), first);
+}
+
+TEST(Lowering, StripGeneratedRestoresUserProgram) {
+  Program program = make_lambdas();
+  const auto user_functions = program.functions.size();
+  const auto user_objects = program.objects.size();
+  ASSERT_TRUE(
+      lower_match_stage(make_spec(), program, LoweringMode::kNaive).ok());
+  EXPECT_GT(program.functions.size(), user_functions);
+  strip_generated(program);
+  EXPECT_EQ(program.functions.size(), user_functions);
+  EXPECT_EQ(program.objects.size(), user_objects);
+}
+
+TEST(Lowering, UnknownActionFunctionFails) {
+  Program program = make_lambdas();
+  MatchSpec spec;
+  spec.tables.push_back(make_lambda_table("missing_lambda", 3));
+  EXPECT_FALSE(lower_match_stage(spec, program, LoweringMode::kNaive).ok());
+}
+
+TEST(Lowering, InferUsedFieldsIgnoresGeneratedCode) {
+  Program program = make_lambdas();
+  ASSERT_TRUE(
+      lower_match_stage(make_spec(), program, LoweringMode::kNaive).ok());
+  const auto used = infer_used_fields(program);
+  ASSERT_EQ(used.size(), 1u);
+  EXPECT_EQ(used[0], microc::kHdrKey);
+}
+
+// Differential property: naïve and reduced lowering decide identically
+// over a sweep of workload IDs.
+class LoweringEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LoweringEquivalenceTest, ModesAgree) {
+  const WorkloadId wid = static_cast<WorkloadId>(GetParam());
+  Program naive = make_lambdas();
+  ASSERT_TRUE(
+      lower_match_stage(make_spec(), naive, LoweringMode::kNaive).ok());
+  Program reduced = make_lambdas();
+  ASSERT_TRUE(
+      lower_match_stage(make_spec(), reduced, LoweringMode::kReduced).ok());
+  const auto a = dispatch(naive, wid, 3, 1);
+  const auto b = dispatch(reduced, wid, 3, 1);
+  ASSERT_EQ(a.state, RunState::kDone);
+  ASSERT_EQ(b.state, RunState::kDone);
+  EXPECT_EQ(a.return_value, b.return_value);
+  EXPECT_EQ(a.response, b.response);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkloadIds, LoweringEquivalenceTest,
+                         ::testing::Values(0, 1, 7, 8, 9, 10, 255, 9999));
+
+}  // namespace
+}  // namespace lnic::p4

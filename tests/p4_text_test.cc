@@ -1,0 +1,163 @@
+// Tests for the P4 text frontend: parsing, validation, and equivalence
+// with programmatically-built MatchSpecs through the full lowering path.
+#include <gtest/gtest.h>
+
+#include "microc/frontend.h"
+#include "microc/interp.h"
+#include "p4/lower.h"
+#include "p4/text.h"
+
+namespace lnic::p4 {
+namespace {
+
+constexpr const char* kSpec = R"(
+  parser {
+    extract(workload_id);
+    extract(src_node);
+  }
+
+  table web_match {
+    key = { workload_id; }
+    entry (1) -> web;
+  }
+
+  table kv_match {
+    key = { workload_id; }
+    entry (2) -> kv;
+  }
+
+  table web_routes route {
+    key = { workload_id; src_node; }
+    entry (1, 0) -> route_web;
+    entry (1, 1) -> route_web;
+  }
+
+  control ingress {
+    apply(web_match);
+    apply(kv_match);
+    apply(web_routes);
+  }
+)";
+
+TEST(P4Text, ParsesTablesEntriesAndControlOrder) {
+  auto spec = parse_p4(kSpec);
+  ASSERT_TRUE(spec.ok()) << spec.error().message;
+  ASSERT_EQ(spec.value().tables.size(), 3u);
+  EXPECT_EQ(spec.value().tables[0].name, "web_match");
+  EXPECT_FALSE(spec.value().tables[0].is_route_table);
+  EXPECT_TRUE(spec.value().tables[2].is_route_table);
+  EXPECT_EQ(spec.value().tables[2].entries.size(), 2u);
+  EXPECT_EQ(spec.value().tables[2].key_fields.size(), 2u);
+  EXPECT_EQ(spec.value().tables[0].entries[0].action_function, "web");
+  EXPECT_EQ(spec.value().total_entries(), 4u);
+}
+
+TEST(P4Text, RejectsUnknownField) {
+  auto r = parse_p4(R"(
+    table t { key = { nonsense; } entry (1) -> f; }
+    control ingress { apply(t); }
+  )");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("unknown header field"), std::string::npos);
+}
+
+TEST(P4Text, RejectsArityMismatch) {
+  auto r = parse_p4(R"(
+    table t { key = { workload_id; src_node; } entry (1) -> f; }
+    control ingress { apply(t); }
+  )");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("arity"), std::string::npos);
+}
+
+TEST(P4Text, RejectsMissingControl) {
+  auto r = parse_p4("table t { key = { workload_id; } entry (1) -> f; }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("control"), std::string::npos);
+}
+
+TEST(P4Text, RejectsUnappliedTable) {
+  auto r = parse_p4(R"(
+    table used { key = { workload_id; } entry (1) -> f; }
+    table orphan { key = { workload_id; } entry (2) -> g; }
+    control ingress { apply(used); }
+  )");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("never applied"), std::string::npos);
+}
+
+TEST(P4Text, RejectsApplyOfUnknownTable) {
+  auto r = parse_p4("control ingress { apply(ghost); }");
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(P4Text, RejectsDuplicateTable) {
+  auto r = parse_p4(R"(
+    table t { key = { workload_id; } entry (1) -> f; }
+    table t { key = { workload_id; } entry (2) -> g; }
+    control ingress { apply(t); }
+  )");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("duplicate"), std::string::npos);
+}
+
+TEST(P4Text, LowersAndDispatchesEndToEnd) {
+  // Full source-level Match+Lambda program: Micro-C lambdas + P4 match
+  // stage, lowered and executed.
+  auto program = microc::compile_microc(R"(
+    int web() { return 100 + hdr(op); }
+    int kv() { return 200; }
+  )");
+  ASSERT_TRUE(program.ok());
+  auto spec = parse_p4(R"(
+    table m {
+      key = { workload_id; }
+      entry (1) -> web;
+      entry (2) -> kv;
+    }
+    control ingress { apply(m); }
+  )");
+  ASSERT_TRUE(spec.ok());
+
+  microc::Program p = std::move(program).value();
+  ASSERT_TRUE(lower_match_stage(spec.value(), p, LoweringMode::kReduced).ok());
+
+  auto dispatch = [&](WorkloadId wid, std::uint64_t op) {
+    microc::ObjectStore store(p);
+    microc::Machine m(p, microc::CostModel::npu(), &store);
+    microc::Invocation inv;
+    inv.headers.fields[microc::kHdrWorkloadId] = wid;
+    inv.headers.fields[microc::kHdrOp] = op;
+    inv.match_data = {1};
+    return m.run(inv).return_value;
+  };
+  EXPECT_EQ(dispatch(1, 5), 105u);
+  EXPECT_EQ(dispatch(2, 0), 200u);
+  EXPECT_EQ(dispatch(3, 0), kReturnToHost);
+}
+
+TEST(P4Text, TextAndBuilderSpecsLowerIdentically) {
+  auto lambdas = [] {
+    return microc::compile_microc("int f() { return 7; }").value();
+  };
+  auto text_spec = parse_p4(R"(
+    table f_match { key = { workload_id; } entry (9) -> f; }
+    control ingress { apply(f_match); }
+  )");
+  ASSERT_TRUE(text_spec.ok());
+  MatchSpec built_spec;
+  Table t = make_lambda_table("f", 9);
+  t.name = "f_match";
+  built_spec.tables.push_back(t);
+
+  microc::Program p1 = lambdas();
+  microc::Program p2 = lambdas();
+  ASSERT_TRUE(lower_match_stage(text_spec.value(), p1,
+                                LoweringMode::kNaive).ok());
+  ASSERT_TRUE(lower_match_stage(built_spec, p2, LoweringMode::kNaive).ok());
+  EXPECT_EQ(microc::code_size(p1), microc::code_size(p2));
+  EXPECT_EQ(p1.lambda_entries, p2.lambda_entries);
+}
+
+}  // namespace
+}  // namespace lnic::p4

@@ -1,0 +1,213 @@
+// Tests for the weakly-consistent RPC client: completion, latency
+// accounting, retransmission under loss, failure after max retries, and
+// multi-fragment response reassembly.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "net/network.h"
+#include "proto/rpc.h"
+#include "sim/simulator.h"
+
+namespace lnic::proto {
+namespace {
+
+using net::Packet;
+using net::PacketKind;
+
+// A trivial echo server: replies with the request payload reversed.
+struct EchoServer {
+  net::Network& network;
+  NodeId node;
+  std::uint64_t served = 0;
+
+  explicit EchoServer(net::Network& net) : network(net) {
+    node = network.attach([this](const Packet& p) {
+      if (p.kind != PacketKind::kRequest && p.kind != PacketKind::kRdmaWrite) {
+        return;
+      }
+      ++served;
+      std::vector<std::uint8_t> reply(p.payload.rbegin(), p.payload.rend());
+      auto frags = net::fragment(node, p.src, PacketKind::kResponse, p.lambda,
+                                 reply);
+      for (auto& f : frags) network.send(std::move(f));
+    });
+  }
+};
+
+TEST(RpcClient, CompletesAndMeasuresLatency) {
+  sim::Simulator sim;
+  net::Network network(sim);
+  EchoServer server(network);
+  RpcClient client(sim, network);
+  std::optional<RpcResponse> got;
+  client.call(server.node, 1, {1, 2, 3}, [&](Result<RpcResponse> r) {
+    ASSERT_TRUE(r.ok());
+    got = std::move(r).value();
+  });
+  sim.run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->payload, (std::vector<std::uint8_t>{3, 2, 1}));
+  EXPECT_GT(got->latency, 0);
+  EXPECT_EQ(got->retries, 0u);
+  EXPECT_EQ(client.inflight(), 0u);
+}
+
+TEST(RpcClient, RetransmitsUnderLossAndSucceeds) {
+  sim::Simulator sim;
+  net::Network network(sim, net::LinkConfig{},
+                       net::FaultConfig{.drop_probability = 0.4},
+                       /*seed=*/11);
+  EchoServer server(network);
+  RpcConfig config;
+  config.retransmit_timeout = milliseconds(5);
+  config.max_retries = 50;
+  RpcClient client(sim, network, config);
+  int completed = 0;
+  for (int i = 0; i < 50; ++i) {
+    client.call(server.node, 1, {static_cast<std::uint8_t>(i)},
+                [&](Result<RpcResponse> r) {
+                  ASSERT_TRUE(r.ok());
+                  ++completed;
+                });
+  }
+  sim.run();
+  EXPECT_EQ(completed, 50);
+  EXPECT_GT(client.retransmissions(), 0u);
+  EXPECT_EQ(client.failures(), 0u);
+}
+
+TEST(RpcClient, FailsAfterMaxRetries) {
+  sim::Simulator sim;
+  net::Network network(sim, net::LinkConfig{},
+                       net::FaultConfig{.drop_probability = 1.0});
+  EchoServer server(network);
+  RpcConfig config;
+  config.retransmit_timeout = milliseconds(1);
+  config.max_retries = 3;
+  RpcClient client(sim, network, config);
+  bool failed = false;
+  client.call(server.node, 1, {9}, [&](Result<RpcResponse> r) {
+    EXPECT_FALSE(r.ok());
+    failed = true;
+  });
+  sim.run();
+  EXPECT_TRUE(failed);
+  EXPECT_EQ(client.retransmissions(), 3u);
+  EXPECT_EQ(client.failures(), 1u);
+}
+
+TEST(RpcClient, LargePayloadGoesAsRdmaFragments) {
+  sim::Simulator sim;
+  net::Network network(sim);
+  int rdma_frags = 0;
+  net::Network* net_ptr = &network;
+  NodeId server = network.attach(nullptr);
+  network.set_handler(server, [&](const Packet& p) {
+    if (p.kind == PacketKind::kRdmaWrite) ++rdma_frags;
+    if (p.kind == PacketKind::kRdmaWrite &&
+        p.lambda.frag_index + 1 == p.lambda.frag_count) {
+      Packet reply;
+      reply.src = server;
+      reply.dst = p.src;
+      reply.kind = PacketKind::kResponse;
+      reply.lambda = p.lambda;
+      reply.lambda.frag_index = 0;
+      reply.lambda.frag_count = 1;
+      net_ptr->send(reply);
+    }
+  });
+  RpcClient client(sim, network);
+  std::vector<std::uint8_t> big(5000, 7);
+  bool done = false;
+  client.call(server, 4, big, [&](Result<RpcResponse> r) {
+    EXPECT_TRUE(r.ok());
+    done = true;
+  });
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(rdma_frags, 4);  // 5000 / 1400 -> 4 fragments
+}
+
+TEST(RpcClient, ReassemblesMultiFragmentResponse) {
+  sim::Simulator sim;
+  net::Network network(sim);
+  net::Network* net_ptr = &network;
+  NodeId server = network.attach(nullptr);
+  std::vector<std::uint8_t> big_reply(4000);
+  for (std::size_t i = 0; i < big_reply.size(); ++i) {
+    big_reply[i] = static_cast<std::uint8_t>(i * 13);
+  }
+  network.set_handler(server, [&, server](const Packet& p) {
+    if (p.kind != PacketKind::kRequest) return;
+    auto frags = net::fragment(server, p.src, PacketKind::kResponse, p.lambda,
+                               big_reply);
+    for (auto& f : frags) net_ptr->send(std::move(f));
+  });
+  RpcClient client(sim, network);
+  std::optional<RpcResponse> got;
+  client.call(server, 2, {1}, [&](Result<RpcResponse> r) {
+    ASSERT_TRUE(r.ok());
+    got = std::move(r).value();
+  });
+  sim.run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->payload, big_reply);
+}
+
+TEST(RpcClient, DuplicateResponsesIgnored) {
+  sim::Simulator sim;
+  net::Network network(sim);
+  net::Network* net_ptr = &network;
+  NodeId server = network.attach(nullptr);
+  network.set_handler(server, [&, server](const Packet& p) {
+    if (p.kind != PacketKind::kRequest) return;
+    for (int i = 0; i < 3; ++i) {  // duplicate replies
+      Packet reply;
+      reply.src = server;
+      reply.dst = p.src;
+      reply.kind = PacketKind::kResponse;
+      reply.lambda = p.lambda;
+      reply.payload = {42};
+      net_ptr->send(reply);
+    }
+  });
+  RpcClient client(sim, network);
+  int callbacks = 0;
+  client.call(server, 1, {1}, [&](Result<RpcResponse>) { ++callbacks; });
+  sim.run();
+  EXPECT_EQ(callbacks, 1);
+}
+
+// Property: under any loss rate < 1 with generous retries, every request
+// eventually completes (the DESIGN.md transport invariant).
+class RpcLossSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RpcLossSweepTest, AllRequestsEventuallyComplete) {
+  sim::Simulator sim;
+  net::Network network(sim, net::LinkConfig{},
+                       net::FaultConfig{.drop_probability = GetParam()},
+                       /*seed=*/23);
+  EchoServer server(network);
+  RpcConfig config;
+  config.retransmit_timeout = milliseconds(2);
+  config.max_retries = 200;
+  RpcClient client(sim, network, config);
+  int completed = 0;
+  const int n = 30;
+  for (int i = 0; i < n; ++i) {
+    client.call(server.node, 1, {static_cast<std::uint8_t>(i)},
+                [&](Result<RpcResponse> r) {
+                  ASSERT_TRUE(r.ok());
+                  ++completed;
+                });
+  }
+  sim.run();
+  EXPECT_EQ(completed, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, RpcLossSweepTest,
+                         ::testing::Values(0.0, 0.05, 0.1, 0.2));
+
+}  // namespace
+}  // namespace lnic::proto

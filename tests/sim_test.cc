@@ -1,0 +1,165 @@
+// Tests for the discrete-event engine: ordering, cancellation, timers,
+// the ServerPool resource, and determinism properties.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/types.h"
+#include "sim/resource.h"
+#include "sim/simulator.h"
+
+namespace lnic::sim {
+namespace {
+
+TEST(Simulator, DispatchesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(30, [&] { order.push_back(3); });
+  sim.schedule(10, [&] { order.push_back(1); });
+  sim.schedule(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, FifoAmongSameTimeEvents) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, NestedSchedulingAdvancesClock) {
+  Simulator sim;
+  SimTime inner_time = -1;
+  sim.schedule(100, [&] {
+    sim.schedule(50, [&] { inner_time = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(inner_time, 150);
+}
+
+TEST(Simulator, CancelPreventsDispatch) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.schedule(10, [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // double-cancel reports false
+  sim.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, RunUntilLeavesLaterEventsPending) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule(10, [&] { ++count; });
+  sim.schedule(20, [&] { ++count; });
+  sim.schedule(30, [&] { ++count; });
+  sim.run_until(20);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.now(), 20);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenIdle) {
+  Simulator sim;
+  sim.run_until(500);
+  EXPECT_EQ(sim.now(), 500);
+}
+
+TEST(Simulator, StepRunsExactlyOne) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule(1, [&] { ++count; });
+  sim.schedule(2, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, ZeroDelayRunsAtCurrentTime) {
+  Simulator sim;
+  sim.schedule(10, [&] {
+    sim.schedule(0, [&] { EXPECT_EQ(sim.now(), 10); });
+  });
+  sim.run();
+}
+
+TEST(PeriodicTimer, FiresUntilStopped) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTimer timer(sim, 100, [&] { ++fires; });
+  timer.start();
+  sim.run_until(1000);
+  EXPECT_EQ(fires, 10);
+  timer.stop();
+  sim.run_until(2000);
+  EXPECT_EQ(fires, 10);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(ServerPool, SingleServerSerializesJobs) {
+  Simulator sim;
+  ServerPool pool(sim, 1);
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 3; ++i) {
+    pool.submit(100, [&] { completions.push_back(sim.now()); });
+  }
+  sim.run();
+  EXPECT_EQ(completions, (std::vector<SimTime>{100, 200, 300}));
+  EXPECT_EQ(pool.completed(), 3u);
+  EXPECT_EQ(pool.busy_time(), 300);
+}
+
+TEST(ServerPool, ParallelServersOverlap) {
+  Simulator sim;
+  ServerPool pool(sim, 4);
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 4; ++i) {
+    pool.submit(100, [&] { completions.push_back(sim.now()); });
+  }
+  sim.run();
+  for (SimTime t : completions) EXPECT_EQ(t, 100);
+}
+
+TEST(ServerPool, QueueingDelayRecorded) {
+  Simulator sim;
+  ServerPool pool(sim, 1);
+  pool.submit(100);
+  pool.submit(100);
+  sim.run();
+  ASSERT_EQ(pool.wait_samples().count(), 2u);
+  EXPECT_DOUBLE_EQ(pool.wait_samples().samples()[0], 0.0);
+  EXPECT_DOUBLE_EQ(pool.wait_samples().samples()[1], 100.0);
+}
+
+// Property: with k servers and n identical jobs, makespan = ceil(n/k)*s.
+class PoolMakespanTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PoolMakespanTest, MakespanMatchesTheory) {
+  const auto [servers, jobs] = GetParam();
+  Simulator sim;
+  ServerPool pool(sim, static_cast<std::uint32_t>(servers));
+  const SimDuration service = 50;
+  for (int i = 0; i < jobs; ++i) pool.submit(service);
+  sim.run();
+  const SimTime expected = ((jobs + servers - 1) / servers) * service;
+  EXPECT_EQ(sim.now(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PoolMakespanTest,
+    ::testing::Combine(::testing::Values(1, 2, 7, 56),
+                       ::testing::Values(1, 8, 100)));
+
+}  // namespace
+}  // namespace lnic::sim

@@ -1,0 +1,242 @@
+// lnicctl — the λ-NIC developer command-line tool.
+//
+// Drives the full Listing 1-3 workflow on files:
+//
+//   lnicctl compile lambda.mc --p4 match.p4 -o firmware.lnfw [--no-opt]
+//       Compile Micro-C source (+ a P4 match spec) into a firmware
+//       artifact; prints the per-stage code sizes (the Fig. 9 series).
+//
+//   lnicctl disasm firmware.lnfw
+//       Disassemble a firmware artifact (objects, parser, functions).
+//
+//   lnicctl run firmware.lnfw --wid N [--op X] [--key K] [--value V]
+//               [--cost npu|host|python]
+//       Execute one invocation against the artifact and print the
+//       response, return code, and cycle/latency accounting.
+//
+// Exit codes: 0 success, 1 usage error, 2 compile/run failure.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "compiler/pipeline.h"
+#include "microc/disasm.h"
+#include "microc/frontend.h"
+#include "microc/interp.h"
+#include "microc/serialize.h"
+#include "p4/text.h"
+
+using namespace lnic;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  lnicctl compile <lambda.mc> [--p4 <match.p4>] "
+               "[-o <out.lnfw>] [--no-opt]\n"
+               "  lnicctl disasm <firmware.lnfw>\n"
+               "  lnicctl run <firmware.lnfw> --wid N [--op X] [--key K] "
+               "[--value V] [--cost npu|host|python]\n");
+  return 1;
+}
+
+Result<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return make_error("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Result<std::vector<std::uint8_t>> read_binary(const std::string& path) {
+  auto text = read_file(path);
+  if (!text.ok()) return text.error();
+  return std::vector<std::uint8_t>(text.value().begin(), text.value().end());
+}
+
+bool write_binary(const std::string& path,
+                  const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(out);
+}
+
+// Simple flag map: --name value pairs after the positional arguments.
+std::map<std::string, std::string> parse_flags(int argc, char** argv,
+                                               int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0 || arg == "-o") {
+      const std::string key = arg == "-o" ? "--out" : arg;
+      if (key == "--no-opt") {
+        flags[key] = "1";
+      } else if (i + 1 < argc) {
+        flags[key] = argv[++i];
+      } else {
+        flags[key] = "";
+      }
+    }
+  }
+  return flags;
+}
+
+int cmd_compile(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string source_path = argv[2];
+  auto flags = parse_flags(argc, argv, 3);
+
+  auto source = read_file(source_path);
+  if (!source.ok()) {
+    std::fprintf(stderr, "error: %s\n", source.error().message.c_str());
+    return 2;
+  }
+  auto program = microc::compile_microc(source.value(), source_path);
+  if (!program.ok()) {
+    std::fprintf(stderr, "error: %s\n", program.error().message.c_str());
+    return 2;
+  }
+  std::fprintf(stderr, "compiled %zu function(s), %zu object(s)\n",
+               program.value().functions.size(),
+               program.value().objects.size());
+
+  p4::MatchSpec spec;
+  if (flags.count("--p4")) {
+    auto p4_source = read_file(flags["--p4"]);
+    if (!p4_source.ok()) {
+      std::fprintf(stderr, "error: %s\n", p4_source.error().message.c_str());
+      return 2;
+    }
+    auto parsed = p4::parse_p4(p4_source.value());
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "error: %s\n", parsed.error().message.c_str());
+      return 2;
+    }
+    spec = std::move(parsed).value();
+  } else {
+    // Default match spec: one table entry per function, workload IDs
+    // assigned in declaration order starting at 1.
+    WorkloadId wid = 1;
+    for (const auto& fn : program.value().functions) {
+      spec.tables.push_back(p4::make_lambda_table(fn.name, wid++));
+    }
+  }
+
+  compiler::Options options;
+  if (flags.count("--no-opt")) options = compiler::Options::none();
+  auto compiled = compiler::compile(spec, std::move(program).value(), options);
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "error: %s\n", compiled.error().message.c_str());
+    return 2;
+  }
+  for (const auto& stage : compiled.value().stages) {
+    std::fprintf(stderr, "  %-24s %6llu words\n", stage.stage.c_str(),
+                 static_cast<unsigned long long>(stage.code_words));
+  }
+
+  const std::string out_path =
+      flags.count("--out") ? flags["--out"] : source_path + ".lnfw";
+  const auto bytes = microc::serialize(compiled.value().program);
+  if (!write_binary(out_path, bytes)) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", out_path.c_str());
+    return 2;
+  }
+  std::fprintf(stderr, "wrote %s (%zu bytes)\n", out_path.c_str(),
+               bytes.size());
+  return 0;
+}
+
+int cmd_disasm(int argc, char** argv) {
+  if (argc < 3) return usage();
+  auto bytes = read_binary(argv[2]);
+  if (!bytes.ok()) {
+    std::fprintf(stderr, "error: %s\n", bytes.error().message.c_str());
+    return 2;
+  }
+  auto program = microc::deserialize(bytes.value());
+  if (!program.ok()) {
+    std::fprintf(stderr, "error: %s\n", program.error().message.c_str());
+    return 2;
+  }
+  std::fputs(microc::disassemble(program.value()).c_str(), stdout);
+  return 0;
+}
+
+int cmd_run(int argc, char** argv) {
+  if (argc < 3) return usage();
+  auto flags = parse_flags(argc, argv, 3);
+  if (!flags.count("--wid")) return usage();
+
+  auto bytes = read_binary(argv[2]);
+  if (!bytes.ok()) {
+    std::fprintf(stderr, "error: %s\n", bytes.error().message.c_str());
+    return 2;
+  }
+  auto program = microc::deserialize(bytes.value());
+  if (!program.ok()) {
+    std::fprintf(stderr, "error: %s\n", program.error().message.c_str());
+    return 2;
+  }
+
+  microc::CostModel cost = microc::CostModel::npu();
+  const std::string cost_name =
+      flags.count("--cost") ? flags["--cost"] : "npu";
+  if (cost_name == "host") cost = microc::CostModel::host_native();
+  else if (cost_name == "python") cost = microc::CostModel::host_python();
+  else if (cost_name != "npu") return usage();
+
+  microc::Invocation inv;
+  auto num = [&](const char* key) -> std::uint64_t {
+    return flags.count(key) ? std::stoull(flags[key]) : 0;
+  };
+  inv.headers.fields[microc::kHdrWorkloadId] = num("--wid");
+  inv.headers.fields[microc::kHdrOp] = num("--op");
+  inv.headers.fields[microc::kHdrKey] = num("--key");
+  inv.headers.fields[microc::kHdrValue] = num("--value");
+  inv.match_data = {1};
+
+  microc::ObjectStore store(program.value());
+  microc::Machine machine(program.value(), cost, &store);
+  microc::Outcome out = machine.run(inv);
+  while (out.state == microc::RunState::kYield) {
+    std::fprintf(stderr, "[ext call %s key=%llu value=%llu -> replying 0]\n",
+                 out.ext.kind == 0 ? "GET" : "SET",
+                 static_cast<unsigned long long>(out.ext.key),
+                 static_cast<unsigned long long>(out.ext.value));
+    out = machine.resume(0);
+  }
+  if (out.state == microc::RunState::kTrap) {
+    std::fprintf(stderr, "trap: %s\n", out.trap_message.c_str());
+    return 2;
+  }
+  std::printf("return: %llu\n",
+              static_cast<unsigned long long>(out.return_value));
+  std::printf("cycles: %llu (%.3f us at %s)\n",
+              static_cast<unsigned long long>(out.cycles),
+              to_us(cost.cycles_to_duration(out.cycles)), cost_name.c_str());
+  std::printf("response (%zu bytes):", out.response.size());
+  for (std::size_t i = 0; i < out.response.size() && i < 64; ++i) {
+    std::printf(" %02x", out.response[i]);
+  }
+  if (out.response.size() > 64) std::printf(" ...");
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  if (command == "compile") return cmd_compile(argc, argv);
+  if (command == "disasm") return cmd_disasm(argc, argv);
+  if (command == "run") return cmd_run(argc, argv);
+  return usage();
+}
