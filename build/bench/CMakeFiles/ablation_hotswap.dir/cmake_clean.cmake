@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hotswap.dir/ablation_hotswap.cc.o"
+  "CMakeFiles/ablation_hotswap.dir/ablation_hotswap.cc.o.d"
+  "ablation_hotswap"
+  "ablation_hotswap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hotswap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

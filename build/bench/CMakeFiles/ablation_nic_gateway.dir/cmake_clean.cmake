@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nic_gateway.dir/ablation_nic_gateway.cc.o"
+  "CMakeFiles/ablation_nic_gateway.dir/ablation_nic_gateway.cc.o.d"
+  "ablation_nic_gateway"
+  "ablation_nic_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nic_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_isolation_latency.dir/fig6_isolation_latency.cc.o"
+  "CMakeFiles/fig6_isolation_latency.dir/fig6_isolation_latency.cc.o.d"
+  "fig6_isolation_latency"
+  "fig6_isolation_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_isolation_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

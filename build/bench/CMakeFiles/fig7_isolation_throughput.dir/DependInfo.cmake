@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig7_isolation_throughput.cc" "bench/CMakeFiles/fig7_isolation_throughput.dir/fig7_isolation_throughput.cc.o" "gcc" "bench/CMakeFiles/fig7_isolation_throughput.dir/fig7_isolation_throughput.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/lnic_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lnic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/framework/CMakeFiles/lnic_framework.dir/DependInfo.cmake"
+  "/root/repo/build/src/backends/CMakeFiles/lnic_backends.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/lnic_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/nicsim/CMakeFiles/lnic_nicsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/lnic_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/p4/CMakeFiles/lnic_p4.dir/DependInfo.cmake"
+  "/root/repo/build/src/hostsim/CMakeFiles/lnic_hostsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/lnic_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/microc/CMakeFiles/lnic_microc.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/lnic_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/raft/CMakeFiles/lnic_raft.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lnic_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lnic_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lnic_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_isolation_throughput.dir/fig7_isolation_throughput.cc.o"
+  "CMakeFiles/fig7_isolation_throughput.dir/fig7_isolation_throughput.cc.o.d"
+  "fig7_isolation_throughput"
+  "fig7_isolation_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_isolation_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

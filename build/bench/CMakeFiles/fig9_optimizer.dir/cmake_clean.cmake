@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_optimizer.dir/fig9_optimizer.cc.o"
+  "CMakeFiles/fig9_optimizer.dir/fig9_optimizer.cc.o.d"
+  "fig9_optimizer"
+  "fig9_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

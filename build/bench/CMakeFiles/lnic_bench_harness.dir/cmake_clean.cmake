@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lnic_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/lnic_bench_harness.dir/harness.cc.o.d"
+  "liblnic_bench_harness.a"
+  "liblnic_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lnic_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

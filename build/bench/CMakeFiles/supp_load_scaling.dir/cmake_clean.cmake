@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supp_load_scaling.dir/supp_load_scaling.cc.o"
+  "CMakeFiles/supp_load_scaling.dir/supp_load_scaling.cc.o.d"
+  "supp_load_scaling"
+  "supp_load_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supp_load_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

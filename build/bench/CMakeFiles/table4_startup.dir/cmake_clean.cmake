@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_startup.dir/table4_startup.cc.o"
+  "CMakeFiles/table4_startup.dir/table4_startup.cc.o.d"
+  "table4_startup"
+  "table4_startup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_startup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_lambda.dir/custom_lambda.cpp.o"
+  "CMakeFiles/custom_lambda.dir/custom_lambda.cpp.o.d"
+  "custom_lambda"
+  "custom_lambda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_lambda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_tenant_web.dir/multi_tenant_web.cpp.o"
+  "CMakeFiles/multi_tenant_web.dir/multi_tenant_web.cpp.o.d"
+  "multi_tenant_web"
+  "multi_tenant_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tenant_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nic_kv_store.dir/nic_kv_store.cpp.o"
+  "CMakeFiles/nic_kv_store.dir/nic_kv_store.cpp.o.d"
+  "nic_kv_store"
+  "nic_kv_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nic_kv_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("net")
+subdirs("proto")
+subdirs("microc")
+subdirs("p4")
+subdirs("compiler")
+subdirs("nicsim")
+subdirs("hostsim")
+subdirs("raft")
+subdirs("kvstore")
+subdirs("backends")
+subdirs("framework")
+subdirs("workloads")
+subdirs("core")

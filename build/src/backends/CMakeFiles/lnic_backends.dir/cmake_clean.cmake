@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lnic_backends.dir/backend.cc.o"
+  "CMakeFiles/lnic_backends.dir/backend.cc.o.d"
+  "liblnic_backends.a"
+  "liblnic_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lnic_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

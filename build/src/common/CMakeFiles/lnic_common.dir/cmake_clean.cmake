@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lnic_common.dir/logging.cc.o"
+  "CMakeFiles/lnic_common.dir/logging.cc.o.d"
+  "CMakeFiles/lnic_common.dir/stats.cc.o"
+  "CMakeFiles/lnic_common.dir/stats.cc.o.d"
+  "liblnic_common.a"
+  "liblnic_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lnic_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

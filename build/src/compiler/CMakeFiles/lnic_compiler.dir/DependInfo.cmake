@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/analysis.cc" "src/compiler/CMakeFiles/lnic_compiler.dir/analysis.cc.o" "gcc" "src/compiler/CMakeFiles/lnic_compiler.dir/analysis.cc.o.d"
+  "/root/repo/src/compiler/coalesce.cc" "src/compiler/CMakeFiles/lnic_compiler.dir/coalesce.cc.o" "gcc" "src/compiler/CMakeFiles/lnic_compiler.dir/coalesce.cc.o.d"
+  "/root/repo/src/compiler/const_fold.cc" "src/compiler/CMakeFiles/lnic_compiler.dir/const_fold.cc.o" "gcc" "src/compiler/CMakeFiles/lnic_compiler.dir/const_fold.cc.o.d"
+  "/root/repo/src/compiler/dce.cc" "src/compiler/CMakeFiles/lnic_compiler.dir/dce.cc.o" "gcc" "src/compiler/CMakeFiles/lnic_compiler.dir/dce.cc.o.d"
+  "/root/repo/src/compiler/inline.cc" "src/compiler/CMakeFiles/lnic_compiler.dir/inline.cc.o" "gcc" "src/compiler/CMakeFiles/lnic_compiler.dir/inline.cc.o.d"
+  "/root/repo/src/compiler/isolation.cc" "src/compiler/CMakeFiles/lnic_compiler.dir/isolation.cc.o" "gcc" "src/compiler/CMakeFiles/lnic_compiler.dir/isolation.cc.o.d"
+  "/root/repo/src/compiler/match_reduce.cc" "src/compiler/CMakeFiles/lnic_compiler.dir/match_reduce.cc.o" "gcc" "src/compiler/CMakeFiles/lnic_compiler.dir/match_reduce.cc.o.d"
+  "/root/repo/src/compiler/pipeline.cc" "src/compiler/CMakeFiles/lnic_compiler.dir/pipeline.cc.o" "gcc" "src/compiler/CMakeFiles/lnic_compiler.dir/pipeline.cc.o.d"
+  "/root/repo/src/compiler/stratify.cc" "src/compiler/CMakeFiles/lnic_compiler.dir/stratify.cc.o" "gcc" "src/compiler/CMakeFiles/lnic_compiler.dir/stratify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/microc/CMakeFiles/lnic_microc.dir/DependInfo.cmake"
+  "/root/repo/build/src/p4/CMakeFiles/lnic_p4.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lnic_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lnic_compiler.dir/analysis.cc.o"
+  "CMakeFiles/lnic_compiler.dir/analysis.cc.o.d"
+  "CMakeFiles/lnic_compiler.dir/coalesce.cc.o"
+  "CMakeFiles/lnic_compiler.dir/coalesce.cc.o.d"
+  "CMakeFiles/lnic_compiler.dir/const_fold.cc.o"
+  "CMakeFiles/lnic_compiler.dir/const_fold.cc.o.d"
+  "CMakeFiles/lnic_compiler.dir/dce.cc.o"
+  "CMakeFiles/lnic_compiler.dir/dce.cc.o.d"
+  "CMakeFiles/lnic_compiler.dir/inline.cc.o"
+  "CMakeFiles/lnic_compiler.dir/inline.cc.o.d"
+  "CMakeFiles/lnic_compiler.dir/isolation.cc.o"
+  "CMakeFiles/lnic_compiler.dir/isolation.cc.o.d"
+  "CMakeFiles/lnic_compiler.dir/match_reduce.cc.o"
+  "CMakeFiles/lnic_compiler.dir/match_reduce.cc.o.d"
+  "CMakeFiles/lnic_compiler.dir/pipeline.cc.o"
+  "CMakeFiles/lnic_compiler.dir/pipeline.cc.o.d"
+  "CMakeFiles/lnic_compiler.dir/stratify.cc.o"
+  "CMakeFiles/lnic_compiler.dir/stratify.cc.o.d"
+  "liblnic_compiler.a"
+  "liblnic_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lnic_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

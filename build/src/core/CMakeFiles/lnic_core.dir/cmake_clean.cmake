@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lnic_core.dir/cluster.cc.o"
+  "CMakeFiles/lnic_core.dir/cluster.cc.o.d"
+  "liblnic_core.a"
+  "liblnic_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lnic_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblnic_core.a"
+)

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/framework/autoscaler.cc" "src/framework/CMakeFiles/lnic_framework.dir/autoscaler.cc.o" "gcc" "src/framework/CMakeFiles/lnic_framework.dir/autoscaler.cc.o.d"
+  "/root/repo/src/framework/gateway.cc" "src/framework/CMakeFiles/lnic_framework.dir/gateway.cc.o" "gcc" "src/framework/CMakeFiles/lnic_framework.dir/gateway.cc.o.d"
+  "/root/repo/src/framework/health.cc" "src/framework/CMakeFiles/lnic_framework.dir/health.cc.o" "gcc" "src/framework/CMakeFiles/lnic_framework.dir/health.cc.o.d"
+  "/root/repo/src/framework/manager.cc" "src/framework/CMakeFiles/lnic_framework.dir/manager.cc.o" "gcc" "src/framework/CMakeFiles/lnic_framework.dir/manager.cc.o.d"
+  "/root/repo/src/framework/metrics.cc" "src/framework/CMakeFiles/lnic_framework.dir/metrics.cc.o" "gcc" "src/framework/CMakeFiles/lnic_framework.dir/metrics.cc.o.d"
+  "/root/repo/src/framework/monitor.cc" "src/framework/CMakeFiles/lnic_framework.dir/monitor.cc.o" "gcc" "src/framework/CMakeFiles/lnic_framework.dir/monitor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proto/CMakeFiles/lnic_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/lnic_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/backends/CMakeFiles/lnic_backends.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lnic_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lnic_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lnic_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/raft/CMakeFiles/lnic_raft.dir/DependInfo.cmake"
+  "/root/repo/build/src/nicsim/CMakeFiles/lnic_nicsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hostsim/CMakeFiles/lnic_hostsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/lnic_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/lnic_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/p4/CMakeFiles/lnic_p4.dir/DependInfo.cmake"
+  "/root/repo/build/src/microc/CMakeFiles/lnic_microc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

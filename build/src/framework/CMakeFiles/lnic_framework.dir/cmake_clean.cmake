@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lnic_framework.dir/autoscaler.cc.o"
+  "CMakeFiles/lnic_framework.dir/autoscaler.cc.o.d"
+  "CMakeFiles/lnic_framework.dir/gateway.cc.o"
+  "CMakeFiles/lnic_framework.dir/gateway.cc.o.d"
+  "CMakeFiles/lnic_framework.dir/health.cc.o"
+  "CMakeFiles/lnic_framework.dir/health.cc.o.d"
+  "CMakeFiles/lnic_framework.dir/manager.cc.o"
+  "CMakeFiles/lnic_framework.dir/manager.cc.o.d"
+  "CMakeFiles/lnic_framework.dir/metrics.cc.o"
+  "CMakeFiles/lnic_framework.dir/metrics.cc.o.d"
+  "CMakeFiles/lnic_framework.dir/monitor.cc.o"
+  "CMakeFiles/lnic_framework.dir/monitor.cc.o.d"
+  "liblnic_framework.a"
+  "liblnic_framework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lnic_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lnic_hostsim.dir/host.cc.o"
+  "CMakeFiles/lnic_hostsim.dir/host.cc.o.d"
+  "liblnic_hostsim.a"
+  "liblnic_hostsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lnic_hostsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lnic_hostsim.
+# This may be replaced when dependencies are built.

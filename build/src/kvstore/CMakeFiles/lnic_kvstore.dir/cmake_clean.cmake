@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lnic_kvstore.dir/cache_server.cc.o"
+  "CMakeFiles/lnic_kvstore.dir/cache_server.cc.o.d"
+  "CMakeFiles/lnic_kvstore.dir/etcd.cc.o"
+  "CMakeFiles/lnic_kvstore.dir/etcd.cc.o.d"
+  "liblnic_kvstore.a"
+  "liblnic_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lnic_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lnic_kvstore.
+# This may be replaced when dependencies are built.

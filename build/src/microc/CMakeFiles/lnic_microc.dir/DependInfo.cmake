@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/microc/builder.cc" "src/microc/CMakeFiles/lnic_microc.dir/builder.cc.o" "gcc" "src/microc/CMakeFiles/lnic_microc.dir/builder.cc.o.d"
+  "/root/repo/src/microc/disasm.cc" "src/microc/CMakeFiles/lnic_microc.dir/disasm.cc.o" "gcc" "src/microc/CMakeFiles/lnic_microc.dir/disasm.cc.o.d"
+  "/root/repo/src/microc/frontend.cc" "src/microc/CMakeFiles/lnic_microc.dir/frontend.cc.o" "gcc" "src/microc/CMakeFiles/lnic_microc.dir/frontend.cc.o.d"
+  "/root/repo/src/microc/interp.cc" "src/microc/CMakeFiles/lnic_microc.dir/interp.cc.o" "gcc" "src/microc/CMakeFiles/lnic_microc.dir/interp.cc.o.d"
+  "/root/repo/src/microc/ir.cc" "src/microc/CMakeFiles/lnic_microc.dir/ir.cc.o" "gcc" "src/microc/CMakeFiles/lnic_microc.dir/ir.cc.o.d"
+  "/root/repo/src/microc/lexer.cc" "src/microc/CMakeFiles/lnic_microc.dir/lexer.cc.o" "gcc" "src/microc/CMakeFiles/lnic_microc.dir/lexer.cc.o.d"
+  "/root/repo/src/microc/parser.cc" "src/microc/CMakeFiles/lnic_microc.dir/parser.cc.o" "gcc" "src/microc/CMakeFiles/lnic_microc.dir/parser.cc.o.d"
+  "/root/repo/src/microc/serialize.cc" "src/microc/CMakeFiles/lnic_microc.dir/serialize.cc.o" "gcc" "src/microc/CMakeFiles/lnic_microc.dir/serialize.cc.o.d"
+  "/root/repo/src/microc/verify.cc" "src/microc/CMakeFiles/lnic_microc.dir/verify.cc.o" "gcc" "src/microc/CMakeFiles/lnic_microc.dir/verify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lnic_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lnic_microc.dir/builder.cc.o"
+  "CMakeFiles/lnic_microc.dir/builder.cc.o.d"
+  "CMakeFiles/lnic_microc.dir/disasm.cc.o"
+  "CMakeFiles/lnic_microc.dir/disasm.cc.o.d"
+  "CMakeFiles/lnic_microc.dir/frontend.cc.o"
+  "CMakeFiles/lnic_microc.dir/frontend.cc.o.d"
+  "CMakeFiles/lnic_microc.dir/interp.cc.o"
+  "CMakeFiles/lnic_microc.dir/interp.cc.o.d"
+  "CMakeFiles/lnic_microc.dir/ir.cc.o"
+  "CMakeFiles/lnic_microc.dir/ir.cc.o.d"
+  "CMakeFiles/lnic_microc.dir/lexer.cc.o"
+  "CMakeFiles/lnic_microc.dir/lexer.cc.o.d"
+  "CMakeFiles/lnic_microc.dir/parser.cc.o"
+  "CMakeFiles/lnic_microc.dir/parser.cc.o.d"
+  "CMakeFiles/lnic_microc.dir/serialize.cc.o"
+  "CMakeFiles/lnic_microc.dir/serialize.cc.o.d"
+  "CMakeFiles/lnic_microc.dir/verify.cc.o"
+  "CMakeFiles/lnic_microc.dir/verify.cc.o.d"
+  "liblnic_microc.a"
+  "liblnic_microc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lnic_microc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblnic_microc.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lnic_net.dir/network.cc.o"
+  "CMakeFiles/lnic_net.dir/network.cc.o.d"
+  "CMakeFiles/lnic_net.dir/packet.cc.o"
+  "CMakeFiles/lnic_net.dir/packet.cc.o.d"
+  "CMakeFiles/lnic_net.dir/trace.cc.o"
+  "CMakeFiles/lnic_net.dir/trace.cc.o.d"
+  "liblnic_net.a"
+  "liblnic_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lnic_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

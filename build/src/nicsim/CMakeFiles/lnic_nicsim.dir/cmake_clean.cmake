@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lnic_nicsim.dir/nic.cc.o"
+  "CMakeFiles/lnic_nicsim.dir/nic.cc.o.d"
+  "liblnic_nicsim.a"
+  "liblnic_nicsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lnic_nicsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

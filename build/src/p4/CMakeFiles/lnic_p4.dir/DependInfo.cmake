@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/p4/lower.cc" "src/p4/CMakeFiles/lnic_p4.dir/lower.cc.o" "gcc" "src/p4/CMakeFiles/lnic_p4.dir/lower.cc.o.d"
+  "/root/repo/src/p4/p4.cc" "src/p4/CMakeFiles/lnic_p4.dir/p4.cc.o" "gcc" "src/p4/CMakeFiles/lnic_p4.dir/p4.cc.o.d"
+  "/root/repo/src/p4/text.cc" "src/p4/CMakeFiles/lnic_p4.dir/text.cc.o" "gcc" "src/p4/CMakeFiles/lnic_p4.dir/text.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/microc/CMakeFiles/lnic_microc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lnic_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lnic_p4.dir/lower.cc.o"
+  "CMakeFiles/lnic_p4.dir/lower.cc.o.d"
+  "CMakeFiles/lnic_p4.dir/p4.cc.o"
+  "CMakeFiles/lnic_p4.dir/p4.cc.o.d"
+  "CMakeFiles/lnic_p4.dir/text.cc.o"
+  "CMakeFiles/lnic_p4.dir/text.cc.o.d"
+  "liblnic_p4.a"
+  "liblnic_p4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lnic_p4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblnic_p4.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lnic_proto.dir/rpc.cc.o"
+  "CMakeFiles/lnic_proto.dir/rpc.cc.o.d"
+  "liblnic_proto.a"
+  "liblnic_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lnic_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lnic_raft.dir/raft.cc.o"
+  "CMakeFiles/lnic_raft.dir/raft.cc.o.d"
+  "liblnic_raft.a"
+  "liblnic_raft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lnic_raft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lnic_sim.dir/simulator.cc.o"
+  "CMakeFiles/lnic_sim.dir/simulator.cc.o.d"
+  "liblnic_sim.a"
+  "liblnic_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lnic_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

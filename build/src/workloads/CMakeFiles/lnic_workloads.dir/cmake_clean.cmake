@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lnic_workloads.dir/image.cc.o"
+  "CMakeFiles/lnic_workloads.dir/image.cc.o.d"
+  "CMakeFiles/lnic_workloads.dir/lambdas.cc.o"
+  "CMakeFiles/lnic_workloads.dir/lambdas.cc.o.d"
+  "liblnic_workloads.a"
+  "liblnic_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lnic_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

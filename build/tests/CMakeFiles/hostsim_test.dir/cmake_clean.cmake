@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hostsim_test.dir/hostsim_test.cc.o"
+  "CMakeFiles/hostsim_test.dir/hostsim_test.cc.o.d"
+  "hostsim_test"
+  "hostsim_test.pdb"
+  "hostsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hostsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microc_test.dir/microc_test.cc.o"
+  "CMakeFiles/microc_test.dir/microc_test.cc.o.d"
+  "microc_test"
+  "microc_test.pdb"
+  "microc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p4_text_test.dir/p4_text_test.cc.o"
+  "CMakeFiles/p4_text_test.dir/p4_text_test.cc.o.d"
+  "p4_text_test"
+  "p4_text_test.pdb"
+  "p4_text_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p4_text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

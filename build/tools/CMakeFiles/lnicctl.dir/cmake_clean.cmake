@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lnicctl.dir/lnicctl.cc.o"
+  "CMakeFiles/lnicctl.dir/lnicctl.cc.o.d"
+  "lnicctl"
+  "lnicctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lnicctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
