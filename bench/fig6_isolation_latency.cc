@@ -15,6 +15,7 @@ using namespace lnic::bench;
 
 int main() {
   print_header("Figure 6: latency ECDF, single lambda in isolation");
+  BenchSummary summary("fig6_isolation_latency");
 
   const auto cases = standard_cases(/*web=*/3000, /*kv=*/3000, /*image=*/120);
   const backends::BackendKind kinds[] = {
@@ -28,6 +29,10 @@ int main() {
       BackendRig rig(kinds[k]);
       per_backend[k] = rig.run_closed_loop(test, /*concurrency=*/1);
       print_latency_row(backends::to_string(kinds[k]), per_backend[k]);
+      const std::string cell =
+          test.name + "/" + backends::to_string(kinds[k]);
+      summary.add(cell + "/mean", per_backend[k].mean() / 1e6, "ms");
+      summary.add(cell + "/p99", per_backend[k].p99() / 1e6, "ms");
     }
     std::printf("  ECDF (ms):\n");
     for (int k = 0; k < 3; ++k) {

@@ -13,6 +13,7 @@ using namespace lnic::bench;
 
 int main() {
   print_header("Figure 7: average throughput, single lambda in isolation");
+  BenchSummary summary("fig7_isolation_throughput");
 
   const auto cases = standard_cases(/*web=*/3000, /*kv=*/3000, /*image=*/120);
   const backends::BackendKind kinds[] = {
@@ -31,6 +32,10 @@ int main() {
       }
       std::printf("  %-12s 1 thread: %10.1f req/s    56 threads: %10.1f req/s\n",
                   backends::to_string(kinds[k]), rps[k][0], rps[k][1]);
+      const std::string cell =
+          test.name + "/" + backends::to_string(kinds[k]);
+      summary.add(cell + "/1", rps[k][0], "req/s");
+      summary.add(cell + "/56", rps[k][1], "req/s");
     }
     std::printf("  speedup @56: vs bare-metal %.1fx, vs container %.1fx\n",
                 rps[0][1] / rps[1][1], rps[0][1] / rps[2][1]);

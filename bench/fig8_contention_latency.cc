@@ -82,5 +82,13 @@ int main() {
               nic.mean() / 1e6, bm.mean() / 1e6, bm1.mean() / 1e6);
   std::printf("bare-metal vs lambda-nic: %.0fx (56 thr), %.0fx (1 core)\n",
               bm.mean() / nic.mean(), bm1.mean() / nic.mean());
+
+  BenchSummary summary("fig8_contention_latency");
+  summary.add("lambda-nic/mean", nic.mean() / 1e6, "ms");
+  summary.add("lambda-nic/p99", nic.p99() / 1e6, "ms");
+  summary.add("bare-metal-56/mean", bm.mean() / 1e6, "ms");
+  summary.add("bare-metal-56/p99", bm.p99() / 1e6, "ms");
+  summary.add("bare-metal-1core/mean", bm1.mean() / 1e6, "ms");
+  summary.add("bare-metal-1core/p99", bm1.p99() / 1e6, "ms");
   return 0;
 }

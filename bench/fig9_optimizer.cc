@@ -6,6 +6,7 @@
 //   -> -8.65% (match reduction) -> -9.56% (memory stratification) = 8,050.
 #include <cstdio>
 
+#include "bench/harness.h"
 #include "compiler/pipeline.h"
 #include "microc/interp.h"
 #include "workloads/lambdas.h"
@@ -23,6 +24,7 @@ int main() {
   }
   const auto& stages = result.value().stages;
   const double naive = static_cast<double>(stages.front().code_words);
+  bench::BenchSummary summary("fig9_optimizer");
   std::printf("  %-24s %10s %10s   (paper)\n", "stage", "instrs", "delta");
   const char* paper[] = {"8902", "-5.11%", "-8.65%", "-9.56%"};
   for (std::size_t i = 0; i < stages.size(); ++i) {
@@ -30,6 +32,8 @@ int main() {
                 static_cast<unsigned long long>(stages[i].code_words),
                 100.0 * (1.0 - stages[i].code_words / naive),
                 i < 4 ? paper[i] : "-");
+    summary.add(stages[i].stage,
+                static_cast<double>(stages[i].code_words), "words");
   }
   std::printf("\n  final binary: %llu instruction words (paper: 8,050); "
               "fits 16 K store: %s\n",

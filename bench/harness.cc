@@ -1,5 +1,7 @@
 #include "bench/harness.h"
 
+#include <cmath>
+
 namespace lnic::bench {
 
 std::vector<WorkloadCase> standard_cases(std::uint64_t web_requests,
@@ -152,6 +154,66 @@ void print_latency_row(const std::string& label, const Sampler& latencies) {
               label.c_str(), latencies.mean() / 1e6,
               latencies.median() / 1e6, latencies.p99() / 1e6,
               latencies.count());
+}
+
+// ---------------------------------------------------------- BenchSummary
+
+namespace {
+
+std::string json_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+BenchSummary::BenchSummary(std::string bench, std::uint64_t seed)
+    : bench_(std::move(bench)), seed_(seed) {}
+
+BenchSummary::~BenchSummary() { write(); }
+
+void BenchSummary::add(const std::string& metric, double value,
+                       const std::string& unit) {
+  entries_.push_back(Entry{metric, value, unit});
+}
+
+std::string BenchSummary::path() const { return "BENCH_" + bench_ + ".json"; }
+
+void BenchSummary::write() {
+  if (written_) return;
+  written_ = true;
+  std::FILE* f = std::fopen(path().c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path().c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"seed\": %llu,\n"
+               "  \"metrics\": [\n",
+               json_escape(bench_).c_str(),
+               static_cast<unsigned long long>(seed_));
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    if (std::isfinite(e.value)) {
+      std::fprintf(f, "    {\"name\": \"%s\", \"value\": %.9g, "
+                   "\"unit\": \"%s\"}%s\n",
+                   json_escape(e.metric).c_str(), e.value,
+                   json_escape(e.unit).c_str(),
+                   i + 1 < entries_.size() ? "," : "");
+    } else {
+      std::fprintf(f, "    {\"name\": \"%s\", \"value\": null, "
+                   "\"unit\": \"%s\"}%s\n",
+                   json_escape(e.metric).c_str(), json_escape(e.unit).c_str(),
+                   i + 1 < entries_.size() ? "," : "");
+    }
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\n  wrote %s (%zu metrics)\n", path().c_str(), entries_.size());
 }
 
 }  // namespace lnic::bench

@@ -96,4 +96,31 @@ void print_ecdf_ms(const std::string& label, const Sampler& latencies);
 /// Mean/median/p99 row in milliseconds.
 void print_latency_row(const std::string& label, const Sampler& latencies);
 
+/// Machine-readable results next to the human tables: collects named
+/// scalars and writes them as BENCH_<bench>.json in the working
+/// directory, so sweeps can diff runs without scraping stdout. Written
+/// on destruction (or an explicit write()).
+class BenchSummary {
+ public:
+  explicit BenchSummary(std::string bench, std::uint64_t seed = 1);
+  ~BenchSummary();
+
+  void add(const std::string& metric, double value, const std::string& unit);
+
+  /// "BENCH_<bench>.json"
+  std::string path() const;
+  void write();
+
+ private:
+  struct Entry {
+    std::string metric;
+    double value;
+    std::string unit;
+  };
+  std::string bench_;
+  std::uint64_t seed_;
+  std::vector<Entry> entries_;
+  bool written_ = false;
+};
+
 }  // namespace lnic::bench

@@ -13,6 +13,7 @@ using namespace lnic::bench;
 
 int main() {
   print_header("Supplementary: load scaling, web server");
+  BenchSummary summary("supp_load_scaling");
 
   const backends::BackendKind kinds[] = {
       backends::BackendKind::kLambdaNic, backends::BackendKind::kBareMetal,
@@ -36,6 +37,10 @@ int main() {
       const Sampler lat = rig.run_closed_loop(test, c);
       std::printf("  %10u %14.0f %14.3f\n", c, rig.last_throughput_rps(),
                   lat.p99() / 1e6);
+      const std::string cell = std::string(backends::to_string(kind)) + "/" +
+                               std::to_string(c);
+      summary.add(cell + "/rps", rig.last_throughput_rps(), "req/s");
+      summary.add(cell + "/p99", lat.p99() / 1e6, "ms");
     }
   }
   std::printf("\n  λ-NIC latency stays flat while throughput scales to the\n"

@@ -65,5 +65,10 @@ int main() {
               bm56);
   std::printf("  %-28s %12.0f   (paper:    520)\n", "bare-metal, 1 thread",
               bm1);
+
+  BenchSummary summary("table2_contention_throughput");
+  summary.add("lambda-nic", nic_rps, "req/s");
+  summary.add("bare-metal-56", bm56, "req/s");
+  summary.add("bare-metal-1", bm1, "req/s");
   return 0;
 }

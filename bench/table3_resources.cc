@@ -38,5 +38,14 @@ int main() {
   std::printf("  %-22s %11.1fM %11.1fM %11.1fM   (paper: 63.2 / 0 / 0)\n",
               "NIC memory (MiB)", to_mib(usage[0].nic_memory),
               to_mib(usage[1].nic_memory), to_mib(usage[2].nic_memory));
+
+  BenchSummary summary("table3_resources");
+  for (int k = 0; k < 3; ++k) {
+    const std::string backend = backends::to_string(kinds[k]);
+    summary.add(backend + "/host_cpu", usage[k].host_cpu_percent, "%");
+    summary.add(backend + "/host_memory", to_mib(usage[k].host_memory),
+                "MiB");
+    summary.add(backend + "/nic_memory", to_mib(usage[k].nic_memory), "MiB");
+  }
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "backends/backend.h"
+#include "bench/harness.h"
 #include "core/cluster.h"
 #include "workloads/lambdas.h"
 
@@ -47,6 +48,14 @@ int main() {
                 "startup=%.1f s\n",
                 to_mib(record.value().artifact_bytes),
                 to_sec(record.value().startup_time));
+  }
+
+  bench::BenchSummary summary("table4_startup", config.seed);
+  for (int k = 0; k < 3; ++k) {
+    const std::string backend = backends::to_string(kinds[k]);
+    summary.add(backend + "/artifact", to_mib(profiles[k].artifact_bytes),
+                "MiB");
+    summary.add(backend + "/startup", to_sec(profiles[k].startup_time), "s");
   }
   return 0;
 }

@@ -27,9 +27,21 @@ LambdaNicBackend::LambdaNicBackend(sim::Simulator& sim, net::Network& network,
     : nic_(sim, network, config) {}
 
 Status LambdaNicBackend::deploy(workloads::WorkloadBundle bundle) {
-  auto compiled = compiler::compile(bundle.spec, std::move(bundle.lambdas));
+  compiler::Options options;
+  options.instruction_store_words = nic_.config().instr_store_words;
+  auto compiled = compiler::compile(bundle.spec, std::move(bundle.lambdas),
+                                    options);
   if (!compiled.ok()) return compiled.error();
   return nic_.deploy(std::move(compiled).value());
+}
+
+Capacity LambdaNicBackend::capacity() const {
+  Capacity cap;
+  cap.instr_store_words = nic_.config().instr_store_words;
+  cap.memory_bytes = nic_.config().emem_bytes;
+  cap.threads = nic_.config().lambda_threads();
+  cap.on_nic = true;
+  return cap;
 }
 
 ResourceUsage LambdaNicBackend::usage(SimDuration window) const {
@@ -61,11 +73,24 @@ HostBackend::HostBackend(sim::Simulator& sim, net::Network& network,
 Status HostBackend::deploy(workloads::WorkloadBundle bundle) {
   // Hosts skip the NIC-specific passes: the runtime dispatches directly,
   // so the lambdas are installed with a plain (unoptimized) match stage.
+  // There is no instruction store either — programs live in DRAM, so
+  // lambdas too big for the NIC (the spillover case) still deploy here.
+  compiler::Options options = compiler::Options::none();
+  options.instruction_store_words = Capacity::kUnlimitedWords;
   auto compiled = compiler::compile(bundle.spec, std::move(bundle.lambdas),
-                                    compiler::Options::none());
+                                    options);
   if (!compiled.ok()) return compiled.error();
   host_.deploy(std::move(compiled).value().program);
   return Status::ok_status();
+}
+
+Capacity HostBackend::capacity() const {
+  Capacity cap;
+  cap.instr_store_words = Capacity::kUnlimitedWords;
+  cap.memory_bytes = kHostLambdaMemoryBudget;
+  cap.threads = host_.config().worker_threads;
+  cap.on_nic = false;
+  return cap;
 }
 
 ResourceUsage HostBackend::usage(SimDuration window) const {

@@ -36,6 +36,24 @@ struct StartupProfile {
   SimDuration startup_time = 0;  // download + boot + first-request ready
 };
 
+/// Deployment capacity report consumed by the placement layer (§5's
+/// workload manager: "verifies if the lambdas can fit and execute on the
+/// NICs ... based on available resources").
+struct Capacity {
+  /// Per-core instruction-store budget. kUnlimitedWords for host
+  /// backends, whose programs live in ordinary DRAM.
+  std::uint64_t instr_store_words = 0;
+  /// Memory available to lambda state: NIC EMEM or host RAM budget.
+  Bytes memory_bytes = 0;
+  /// Hardware threads available to run lambdas.
+  std::uint32_t threads = 0;
+  /// True for SmartNIC-resident execution (the preferred target).
+  bool on_nic = false;
+
+  static constexpr std::uint64_t kUnlimitedWords =
+      static_cast<std::uint64_t>(-1);
+};
+
 class Backend {
  public:
   virtual ~Backend() = default;
@@ -45,6 +63,8 @@ class Backend {
   virtual NodeId node() const = 0;
   /// Compiles (as appropriate for the backend) and installs the bundle.
   virtual Status deploy(workloads::WorkloadBundle bundle) = 0;
+  /// Resources available for lambda placement on this worker.
+  virtual Capacity capacity() const = 0;
   virtual void set_kv_server(NodeId node) = 0;
   /// Additional resources consumed while serving, measured over the
   /// window [start, end] with `concurrent` requests in flight.
@@ -62,6 +82,7 @@ class LambdaNicBackend : public Backend {
   BackendKind kind() const override { return BackendKind::kLambdaNic; }
   NodeId node() const override { return nic_.node(); }
   Status deploy(workloads::WorkloadBundle bundle) override;
+  Capacity capacity() const override;
   void set_kv_server(NodeId node) override { nic_.set_kv_server(node); }
   ResourceUsage usage(SimDuration window) const override;
   StartupProfile startup_profile() const override;
@@ -85,6 +106,7 @@ class HostBackend : public Backend {
   BackendKind kind() const override { return kind_; }
   NodeId node() const override { return host_.node(); }
   Status deploy(workloads::WorkloadBundle bundle) override;
+  Capacity capacity() const override;
   void set_kv_server(NodeId node) override { host_.set_kv_server(node); }
   ResourceUsage usage(SimDuration window) const override;
   StartupProfile startup_profile() const override;

@@ -106,4 +106,9 @@ constexpr SimDuration kContainerStartTime = milliseconds(8690);
 /// Management-network bandwidth for artifact download (1 GbE on M1).
 constexpr double kMgmtBandwidthBps = 1e9;
 
+// ------------------------------------------------ placement capacities
+/// Host RAM budget a worker offers to lambda state (the testbed's Xeon
+/// nodes carry 196 GiB, §6.1.2; we leave headroom for OS + runtime).
+constexpr Bytes kHostLambdaMemoryBudget = 192ull * 1024_MiB;
+
 }  // namespace lnic::backends

@@ -2,6 +2,12 @@
 
 namespace lnic::core {
 
+std::vector<backends::BackendKind> ClusterConfig::effective_worker_kinds()
+    const {
+  if (!worker_kinds.empty()) return worker_kinds;
+  return std::vector<backends::BackendKind>(workers, backend);
+}
+
 Cluster::Cluster(ClusterConfig config)
     : config_(config),
       network_(sim_, config.link, config.faults, config.seed),
@@ -15,8 +21,8 @@ Cluster::Cluster(ClusterConfig config)
   }
   manager_ = std::make_unique<framework::WorkloadManager>(sim_, storage_,
                                                           etcd_.get());
-  for (std::uint32_t i = 0; i < config.workers; ++i) {
-    workers_.push_back(backends::make_backend(config.backend, sim_, network_,
+  for (backends::BackendKind kind : config.effective_worker_kinds()) {
+    workers_.push_back(backends::make_backend(kind, sim_, network_,
                                               config.worker_threads));
     workers_.back()->set_kv_server(cache_->node());
   }
@@ -28,16 +34,15 @@ Result<framework::DeploymentRecord> Cluster::deploy(
   // Let the etcd cluster elect a leader so route mirroring succeeds.
   if (etcd_) sim_.run_until(sim_.now() + seconds(2));
 
-  std::optional<framework::DeploymentRecord> last;
-  for (auto& worker : workers_) {
-    workloads::WorkloadBundle copy = bundle;  // each worker gets the bundle
-    auto record = manager_->deploy(std::move(copy), *worker, gateway_.get());
-    if (!record.ok()) return record.error();
-    last = std::move(record).value();
-    ready_at_ = std::max(ready_at_, last->ready_at);
-  }
-  if (!last.has_value()) return make_error("cluster: no workers configured");
-  return *last;
+  std::vector<backends::Backend*> pool;
+  pool.reserve(workers_.size());
+  for (auto& worker : workers_) pool.push_back(worker.get());
+  auto record = manager_->deploy(
+      std::move(bundle), pool,
+      framework::placement_policy(config_.placement), gateway_.get());
+  if (!record.ok()) return record.error();
+  ready_at_ = std::max(ready_at_, record.value().ready_at);
+  return record;
 }
 
 void Cluster::wait_until_ready() {

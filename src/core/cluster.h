@@ -35,6 +35,13 @@ namespace lnic::core {
 struct ClusterConfig {
   std::uint32_t workers = 4;  // M2-M5 (§6.1.2)
   backends::BackendKind backend = backends::BackendKind::kLambdaNic;
+  // Per-worker backend kinds for heterogeneous clusters, e.g.
+  // {kLambdaNic, kLambdaNic, kBareMetal, kContainer}. When non-empty it
+  // overrides `workers`/`backend`; when empty the cluster is homogeneous
+  // (`workers` copies of `backend`), as before.
+  std::vector<backends::BackendKind> worker_kinds;
+  framework::PlacementPolicyKind placement =
+      framework::PlacementPolicyKind::kNicFirst;
   std::uint32_t worker_threads = 56;
   bool with_etcd = true;
   std::uint32_t etcd_nodes = 3;
@@ -42,6 +49,10 @@ struct ClusterConfig {
   net::FaultConfig faults;
   framework::GatewayConfig gateway;
   std::uint64_t seed = 7;
+
+  /// The effective per-worker kinds after applying the homogeneous
+  /// convenience expansion.
+  std::vector<backends::BackendKind> effective_worker_kinds() const;
 };
 
 class Cluster {
@@ -58,8 +69,9 @@ class Cluster {
   backends::Backend& worker(std::size_t i) { return *workers_.at(i); }
   std::size_t worker_count() const { return workers_.size(); }
 
-  /// Deploys the bundle to every worker and registers routes. The
-  /// cluster is serving after wait_until_ready().
+  /// Deploys the bundle across the worker pool using the configured
+  /// placement policy and registers weighted routes. The cluster is
+  /// serving after wait_until_ready().
   Result<framework::DeploymentRecord> deploy(workloads::WorkloadBundle bundle);
 
   /// Advances the simulation past etcd elections and backend startup

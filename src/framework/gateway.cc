@@ -5,13 +5,47 @@
 
 namespace lnic::framework {
 
+std::uint64_t Route::total_weight() const {
+  std::uint64_t total = 0;
+  for (const auto& replica : replicas) total += replica.weight;
+  return total;
+}
+
+namespace {
+/// Maps a round-robin cursor onto the weighted replica set: replica i
+/// owns `weight_i` consecutive slots of the cycle. With every weight at 1
+/// this is exactly `workers[cursor % workers.size()]`.
+NodeId weighted_pick(const Route& route, std::size_t cursor) {
+  const std::uint64_t total = route.total_weight();
+  if (total == 0) return route.workers[cursor % route.workers.size()];
+  std::uint64_t slot = cursor % total;
+  for (const auto& replica : route.replicas) {
+    if (slot < replica.weight) return replica.node;
+    slot -= replica.weight;
+  }
+  return route.replicas.back().node;
+}
+}  // namespace
+
 Gateway::Gateway(sim::Simulator& sim, net::Network& network,
                  GatewayConfig config)
     : sim_(sim), config_(config), rpc_(sim, network, config.rpc) {}
 
 void Gateway::register_function(const std::string& name, WorkloadId workload,
                                 std::vector<NodeId> workers) {
-  routes_[name] = Route{workload, std::move(workers)};
+  std::vector<Replica> replicas;
+  replicas.reserve(workers.size());
+  for (NodeId node : workers) replicas.push_back(Replica{node, 1,
+                                                         kUnknownBackendKind});
+  routes_[name] = Route{workload, std::move(workers), std::move(replicas)};
+}
+
+void Gateway::register_replicas(const std::string& name, WorkloadId workload,
+                                std::vector<Replica> replicas) {
+  std::vector<NodeId> workers;
+  workers.reserve(replicas.size());
+  for (const auto& replica : replicas) workers.push_back(replica.node);
+  routes_[name] = Route{workload, std::move(workers), std::move(replicas)};
 }
 
 void Gateway::set_rate_limit(const std::string& name, RateLimit limit) {
@@ -39,6 +73,7 @@ bool Gateway::admit(const std::string& name) {
 
 void Gateway::add_worker(const std::string& name, NodeId worker) {
   routes_[name].workers.push_back(worker);
+  routes_[name].replicas.push_back(Replica{worker, 1, kUnknownBackendKind});
 }
 
 const Route* Gateway::route(const std::string& name) const {
@@ -72,6 +107,10 @@ void Gateway::remove_worker(NodeId worker) {
     route.workers.erase(
         std::remove(route.workers.begin(), route.workers.end(), worker),
         route.workers.end());
+    route.replicas.erase(
+        std::remove_if(route.replicas.begin(), route.replicas.end(),
+                       [worker](const Replica& r) { return r.node == worker; }),
+        route.replicas.end());
   }
 }
 
@@ -85,8 +124,7 @@ void Gateway::dispatch(const std::string& name,
     return;
   }
   const Route& route = it->second;
-  const std::size_t pick = rr_cursor_[name]++ % route.workers.size();
-  const NodeId worker = route.workers[pick];
+  const NodeId worker = weighted_pick(route, rr_cursor_[name]++);
 
   const SimTime started = sim_.now();
   // Proxy/NAT lookup happens before the request leaves the gateway.
@@ -128,20 +166,35 @@ void Gateway::dispatch(const std::string& name,
 
 std::string Gateway::encode_route(WorkloadId workload,
                                   const std::vector<NodeId>& workers) {
+  std::vector<Replica> replicas;
+  replicas.reserve(workers.size());
+  for (NodeId node : workers) replicas.push_back(Replica{node, 1,
+                                                         kUnknownBackendKind});
+  return encode_replicas(workload, replicas);
+}
+
+std::string Gateway::encode_replicas(WorkloadId workload,
+                                     const std::vector<Replica>& replicas) {
   std::ostringstream out;
   out << workload << "|";
-  for (std::size_t i = 0; i < workers.size(); ++i) {
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
     if (i > 0) out << ",";
-    out << workers[i];
+    out << replicas[i].node;
+    // Defaults stay implicit so plain routes keep the legacy encoding.
+    if (replicas[i].weight != 1) out << "*" << replicas[i].weight;
+    if (replicas[i].backend_kind != kUnknownBackendKind) {
+      out << "@" << static_cast<unsigned>(replicas[i].backend_kind);
+    }
   }
   return out.str();
 }
 
 Result<Route> Gateway::decode_route(const std::string& encoded) {
-  const auto bar = encoded.find('|');
-  if (bar == std::string::npos) {
+  const auto malformed = [&encoded]() {
     return make_error("gateway: malformed route '" + encoded + "'");
-  }
+  };
+  const auto bar = encoded.find('|');
+  if (bar == std::string::npos) return malformed();
   Route route;
   try {
     route.workload = static_cast<WorkloadId>(
@@ -150,13 +203,32 @@ Result<Route> Gateway::decode_route(const std::string& encoded) {
     std::istringstream stream(rest);
     std::string token;
     while (std::getline(stream, token, ',')) {
-      if (!token.empty()) {
-        route.workers.push_back(static_cast<NodeId>(std::stoul(token)));
+      if (token.empty()) return malformed();
+      Replica replica;
+      // "<node>[*<weight>][@<kind>]" — the optional parts in that order.
+      const auto at = token.find('@');
+      if (at != std::string::npos) {
+        const unsigned long kind = std::stoul(token.substr(at + 1));
+        if (kind > 0xFF) return malformed();
+        replica.backend_kind = static_cast<std::uint8_t>(kind);
+        token = token.substr(0, at);
       }
+      const auto star = token.find('*');
+      if (star != std::string::npos) {
+        const unsigned long weight = std::stoul(token.substr(star + 1));
+        if (weight == 0) return malformed();
+        replica.weight = static_cast<std::uint32_t>(weight);
+        token = token.substr(0, star);
+      }
+      if (token.empty()) return malformed();
+      replica.node = static_cast<NodeId>(std::stoul(token));
+      route.workers.push_back(replica.node);
+      route.replicas.push_back(replica);
     }
   } catch (const std::exception&) {
-    return make_error("gateway: malformed route '" + encoded + "'");
+    return malformed();
   }
+  if (route.replicas.empty()) return malformed();
   return route;
 }
 

@@ -32,9 +32,31 @@ struct GatewayConfig {
   proto::RpcConfig rpc;
 };
 
+/// Marker for replicas whose backend kind is not recorded (legacy routes,
+/// hand-registered workers). Values below it mirror backends::BackendKind
+/// without pulling the backend layer into the gateway's dependency set.
+constexpr std::uint8_t kUnknownBackendKind = 0xFF;
+
+/// One worker of a weighted replica set. The placement layer records the
+/// backend kind each replica runs on; `weight` biases the round-robin
+/// (weight 1 everywhere reproduces plain round robin bit-for-bit).
+struct Replica {
+  NodeId node = kInvalidNode;
+  std::uint32_t weight = 1;
+  std::uint8_t backend_kind = kUnknownBackendKind;
+
+  friend bool operator==(const Replica&, const Replica&) = default;
+};
+
 struct Route {
   WorkloadId workload = kInvalidWorkload;
+  /// Flat node list, one entry per replica (kept in sync with `replicas`;
+  /// retained because most callers only care about where requests go).
   std::vector<NodeId> workers;
+  /// The weighted set the dispatcher actually consults.
+  std::vector<Replica> replicas;
+
+  std::uint64_t total_weight() const;
 };
 
 /// Token-bucket rate limit, the gateway's DDoS guard (§7: "any malicious
@@ -52,9 +74,16 @@ class Gateway {
 
   NodeId node() const { return rpc_.node(); }
 
-  /// Registers (or replaces) a function route.
+  /// Registers (or replaces) a function route. All replicas get weight 1
+  /// and an unknown backend kind.
   void register_function(const std::string& name, WorkloadId workload,
                          std::vector<NodeId> workers);
+
+  /// Registers (or replaces) a function route as a weighted replica set
+  /// (the placement layer's entry point). Named distinctly because a
+  /// braced node list would be ambiguous against the overload above.
+  void register_replicas(const std::string& name, WorkloadId workload,
+                         std::vector<Replica> replicas);
 
   /// Installs a per-function token-bucket limit; excess requests fail
   /// fast with a throttle error (and count in the metrics).
@@ -74,13 +103,17 @@ class Gateway {
   void remove_worker(NodeId worker);
 
   /// Mirrors routes from etcd: keys "route/<name>" with value
-  /// "<wid>|<node>,<node>,...". Applies current entries and watches for
-  /// changes (the Watch Service of Fig. 5).
+  /// "<wid>|<replica>,<replica>,...". Applies current entries and watches
+  /// for changes (the Watch Service of Fig. 5).
   void sync_with(kvstore::EtcdStore& etcd);
 
-  /// Serialization helpers for the etcd route encoding.
+  /// Serialization helpers for the etcd route encoding. A replica token
+  /// is "<node>", optionally extended with "*<weight>" and/or "@<kind>"
+  /// — plain weight-1 routes encode exactly as before ("7|1,2,3").
   static std::string encode_route(WorkloadId workload,
                                   const std::vector<NodeId>& workers);
+  static std::string encode_replicas(WorkloadId workload,
+                                     const std::vector<Replica>& replicas);
   static Result<Route> decode_route(const std::string& encoded);
 
   MetricsRegistry& metrics() { return metrics_; }

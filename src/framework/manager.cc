@@ -1,5 +1,9 @@
 #include "framework/manager.h"
 
+#include <algorithm>
+
+#include "workloads/split.h"
+
 namespace lnic::framework {
 
 Result<DeploymentRecord> WorkloadManager::deploy(
@@ -31,7 +35,8 @@ Result<DeploymentRecord> WorkloadManager::deploy(
       if (gateway->has_function(name)) {
         gateway->add_worker(name, backend.node());
       } else {
-        gateway->register_function(name, wid, {backend.node()});
+        gateway->register_function(name, wid,
+                                   std::vector<NodeId>{backend.node()});
       }
     }
     if (etcd_ != nullptr) {
@@ -46,6 +51,80 @@ Result<DeploymentRecord> WorkloadManager::deploy(
       (void)etcd_->put("route/" + name, Gateway::encode_route(wid, workers));
     }
   }
+  deployments_.push_back(record);
+  return record;
+}
+
+Result<DeploymentRecord> WorkloadManager::deploy(
+    workloads::WorkloadBundle bundle, std::span<backends::Backend* const> pool,
+    const PlacementPolicy& policy, Gateway* gateway) {
+  if (pool.empty()) return make_error("manager: empty backend pool");
+
+  auto footprints = compute_footprints(bundle);
+  if (!footprints.ok()) return footprints.error();
+  auto plan = policy.place(snapshot_pool(pool), footprints.value());
+  if (!plan.ok()) return plan.error();
+
+  DeploymentRecord record;
+  record.policy = policy.name();
+  record.artifact_name = bundle.lambdas.name;
+  for (const auto& fp : footprints.value()) {
+    record.functions.emplace_back(fp.name, fp.workload);
+  }
+
+  // Deploy each backend's slice of the bundle. A full slice reuses the
+  // original bundle object, so homogeneous pools compile bit-identical
+  // firmware to a plain per-backend deploy.
+  const auto per_backend = plan.value().functions_per_backend(pool.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    if (per_backend[i].empty()) continue;
+    backends::Backend& backend = *pool[i];
+    auto sub = workloads::split_bundle(bundle, per_backend[i]);
+
+    const auto profile = backend.startup_profile();
+    record.artifact_bytes = std::max(record.artifact_bytes,
+                                     profile.artifact_bytes);
+    record.startup_time = std::max(record.startup_time, profile.startup_time);
+    record.ready_at = std::max(record.ready_at,
+                               sim_.now() + profile.startup_time);
+    storage_.put(std::string(backends::to_string(backend.kind())) + "/" +
+                     bundle.lambdas.name,
+                 profile.artifact_bytes);
+
+    if (Status st = backend.deploy(std::move(sub)); !st.ok()) {
+      return st.error();
+    }
+  }
+
+  // Register every function as a weighted replica set carrying backend
+  // kinds, both directly with the gateway and mirrored into etcd.
+  for (const auto& fp : footprints.value()) {
+    const auto it = plan.value().functions.find(fp.name);
+    if (it == plan.value().functions.end()) continue;
+    FunctionPlacement placement;
+    placement.function = fp.name;
+    placement.workload = fp.workload;
+    std::vector<Replica> replicas;
+    for (const auto& assignment : it->second) {
+      const backends::Backend& backend = *pool[assignment.backend_index];
+      placement.replicas.push_back(
+          PlacedReplica{backend.node(), backend.kind(), assignment.weight});
+      replicas.push_back(Replica{
+          backend.node(), assignment.weight,
+          static_cast<std::uint8_t>(backend.kind())});
+    }
+    if (gateway != nullptr) {
+      gateway->register_replicas(fp.name, fp.workload, replicas);
+    }
+    if (etcd_ != nullptr) {
+      // Best effort, as in the single-backend path: requires an elected
+      // leader; earlier callers simply skip the etcd mirror.
+      (void)etcd_->put("route/" + fp.name,
+                       Gateway::encode_replicas(fp.workload, replicas));
+    }
+    record.placements.push_back(std::move(placement));
+  }
+
   deployments_.push_back(record);
   return record;
 }

@@ -5,12 +5,14 @@
 #pragma once
 
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "backends/backend.h"
 #include "common/result.h"
 #include "framework/gateway.h"
+#include "framework/placement.h"
 #include "framework/storage.h"
 #include "kvstore/etcd.h"
 #include "sim/simulator.h"
@@ -18,14 +20,32 @@
 
 namespace lnic::framework {
 
+/// One replica of a function as actually deployed.
+struct PlacedReplica {
+  NodeId node = kInvalidNode;
+  backends::BackendKind kind = backends::BackendKind::kLambdaNic;
+  std::uint32_t weight = 1;
+};
+
+/// Where one function's replicas landed.
+struct FunctionPlacement {
+  std::string function;
+  WorkloadId workload = kInvalidWorkload;
+  std::vector<PlacedReplica> replicas;
+};
+
 /// Result of one deployment: what was installed where, and how long the
-/// backend took to become ready (download + boot, Table 4's axes).
+/// backend took to become ready (download + boot, Table 4's axes). Pool
+/// deployments additionally record the per-function placement and the
+/// policy that produced it.
 struct DeploymentRecord {
   std::string artifact_name;
   Bytes artifact_bytes = 0;
   SimDuration startup_time = 0;
   SimTime ready_at = 0;
   std::vector<std::pair<std::string, WorkloadId>> functions;
+  std::string policy;  // placement policy name; empty for legacy deploys
+  std::vector<FunctionPlacement> placements;
 };
 
 class WorkloadManager {
@@ -40,6 +60,16 @@ class WorkloadManager {
   /// spec action names.
   Result<DeploymentRecord> deploy(workloads::WorkloadBundle bundle,
                                   backends::Backend& backend,
+                                  Gateway* gateway);
+
+  /// Capacity-aware deployment across a heterogeneous pool (§5, Fig. 2):
+  /// measures per-lambda footprints, asks `policy` for a PlacementPlan,
+  /// splits the bundle per backend, deploys each sub-bundle, and
+  /// registers every function as a weighted replica set (with backend
+  /// kinds) in `gateway` and etcd. The record carries the full placement.
+  Result<DeploymentRecord> deploy(workloads::WorkloadBundle bundle,
+                                  std::span<backends::Backend* const> pool,
+                                  const PlacementPolicy& policy,
                                   Gateway* gateway);
 
   const std::vector<DeploymentRecord>& deployments() const {

@@ -1,0 +1,126 @@
+// Placement layer (§5, Fig. 2): the workload manager's decision of
+// *where* each lambda runs. The paper's manager "verifies if the lambdas
+// can fit and execute on the NICs" — firmware must fit the per-core
+// 16 K-instruction store and the NIC memory hierarchy — and falls back
+// to host backends when it cannot. This module makes that decision a
+// first-class, pluggable policy over per-backend capacity reports
+// (backends::Capacity) and compiled per-lambda footprints, producing a
+// PlacementPlan the manager deploys and the gateway routes by.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "backends/backend.h"
+#include "common/result.h"
+#include "common/types.h"
+#include "workloads/lambdas.h"
+
+namespace lnic::framework {
+
+/// Capacity snapshot of one pool member, as the policies see it.
+struct BackendSlot {
+  std::size_t index = 0;  // position in the deployment pool
+  backends::BackendKind kind = backends::BackendKind::kLambdaNic;
+  NodeId node = kInvalidNode;
+  backends::Capacity capacity;
+};
+
+/// Footprint of one lambda: its single-action sub-bundle compiled alone
+/// through the NIC pipeline with no store limit. Sums of these slightly
+/// over-estimate co-resident firmware (each carries its own dispatch
+/// stage and helpers that coalescing would merge), so policies that pack
+/// by summed footprints are conservative: a plan that fits by footprint
+/// always compiles within the store.
+struct FunctionFootprint {
+  std::string name;
+  WorkloadId workload = kInvalidWorkload;
+  std::uint64_t code_words = 0;  // optimized instruction-store words
+  Bytes memory_bytes = 0;        // persistent (global) object bytes
+};
+
+/// One replica of a function in the plan.
+struct PlacementAssignment {
+  std::size_t backend_index = 0;  // into the deployment pool
+  std::uint32_t weight = 1;       // gateway round-robin bias
+
+  friend bool operator==(const PlacementAssignment&,
+                         const PlacementAssignment&) = default;
+};
+
+/// Output of a policy: every function mapped to a weighted replica set.
+struct PlacementPlan {
+  std::map<std::string, std::vector<PlacementAssignment>> functions;
+
+  /// Function names (bundle order not guaranteed; map order) assigned to
+  /// each pool member; entries may be empty.
+  std::vector<std::vector<std::string>> functions_per_backend(
+      std::size_t pool_size) const;
+
+  bool assigns(const std::string& function, std::size_t backend_index) const;
+};
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Maps every function to at least one backend, or fails when some
+  /// function fits nowhere (e.g. an oversize lambda in an all-NIC pool).
+  virtual Result<PlacementPlan> place(
+      const std::vector<BackendSlot>& pool,
+      const std::vector<FunctionFootprint>& functions) const = 0;
+};
+
+/// Paper semantics: a lambda runs on every NIC worker when the NIC-
+/// resident set still fits the instruction store and EMEM; otherwise it
+/// spills to every host worker. A homogeneous pool therefore reproduces
+/// the replicate-everywhere behaviour exactly.
+class NicFirstPolicy : public PlacementPolicy {
+ public:
+  const char* name() const override { return "nic-first"; }
+  Result<PlacementPlan> place(
+      const std::vector<BackendSlot>& pool,
+      const std::vector<FunctionFootprint>& functions) const override;
+};
+
+/// Bin-packs lambdas onto as few NIC workers as possible (first-fit
+/// decreasing by code size), maximizing co-residency — and thereby what
+/// lambda coalescing can merge. Overflow goes to host workers.
+class PackedPolicy : public PlacementPolicy {
+ public:
+  const char* name() const override { return "packed"; }
+  Result<PlacementPlan> place(
+      const std::vector<BackendSlot>& pool,
+      const std::vector<FunctionFootprint>& functions) const override;
+};
+
+/// Spreads lambdas one-per-worker round robin across the whole pool
+/// (skipping workers a lambda cannot fit), minimizing co-residency.
+class SpreadPolicy : public PlacementPolicy {
+ public:
+  const char* name() const override { return "spread"; }
+  Result<PlacementPlan> place(
+      const std::vector<BackendSlot>& pool,
+      const std::vector<FunctionFootprint>& functions) const override;
+};
+
+enum class PlacementPolicyKind : std::uint8_t { kNicFirst, kPacked, kSpread };
+
+/// Shared immutable policy instances for configuration by enum.
+const PlacementPolicy& placement_policy(PlacementPolicyKind kind);
+
+/// Capacity snapshots for a deployment pool, in pool order.
+std::vector<BackendSlot> snapshot_pool(
+    std::span<backends::Backend* const> pool);
+
+/// Compiles each action of `bundle` alone (full NIC pipeline, unlimited
+/// instruction store) to measure per-lambda footprints, in spec order.
+Result<std::vector<FunctionFootprint>> compute_footprints(
+    const workloads::WorkloadBundle& bundle);
+
+}  // namespace lnic::framework

@@ -119,6 +119,7 @@ class SmartNic {
   void set_kv_server(NodeId node) { kv_server_ = node; }
   void set_wfq_weights(WfqWeights weights) { weights_ = std::move(weights); }
 
+  const NicConfig& config() const { return config_; }
   const NicStats& stats() const { return stats_; }
   /// NIC memory in use: firmware + global objects + staged RDMA bodies.
   Bytes memory_in_use() const;

@@ -1,0 +1,171 @@
+#include "workloads/split.h"
+
+#include <algorithm>
+#include <set>
+
+namespace lnic::workloads {
+
+namespace {
+
+bool uses_obj(microc::Opcode op) {
+  switch (op) {
+    case microc::Opcode::kLoad:
+    case microc::Opcode::kStore:
+    case microc::Opcode::kRespMem:
+    case microc::Opcode::kMemCpy:
+    case microc::Opcode::kGrayscale:
+    case microc::Opcode::kHash:
+    case microc::Opcode::kBodyCopy:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool uses_obj2(microc::Opcode op) {
+  return op == microc::Opcode::kMemCpy || op == microc::Opcode::kGrayscale;
+}
+
+}  // namespace
+
+std::vector<std::string> bundle_actions(const WorkloadBundle& bundle) {
+  std::vector<std::string> actions;
+  for (const auto& table : bundle.spec.tables) {
+    if (table.is_route_table) continue;
+    for (const auto& entry : table.entries) {
+      if (std::find(actions.begin(), actions.end(), entry.action_function) ==
+          actions.end()) {
+        actions.push_back(entry.action_function);
+      }
+    }
+  }
+  return actions;
+}
+
+WorkloadBundle split_bundle(const WorkloadBundle& bundle,
+                            const std::vector<std::string>& actions) {
+  const std::set<std::string> wanted(actions.begin(), actions.end());
+
+  const auto all = bundle_actions(bundle);
+  const bool keeps_all =
+      std::all_of(all.begin(), all.end(), [&wanted](const std::string& a) {
+        return wanted.count(a) > 0;
+      });
+  if (keeps_all) return bundle;  // bit-identical program for full sets
+
+  // Workload IDs that survive (first key value of a matching entry).
+  std::set<std::uint64_t> kept_ids;
+  for (const auto& table : bundle.spec.tables) {
+    if (table.is_route_table) continue;
+    for (const auto& entry : table.entries) {
+      if (wanted.count(entry.action_function) > 0 &&
+          !entry.key_values.empty()) {
+        kept_ids.insert(entry.key_values.front());
+      }
+    }
+  }
+
+  WorkloadBundle out;
+  out.image_width = bundle.image_width;
+  out.image_height = bundle.image_height;
+  out.web_pages = bundle.web_pages;
+
+  // Match spec: filter entries; route tables survive per workload ID
+  // (their route helpers are generated later, by the lowerer).
+  for (const auto& table : bundle.spec.tables) {
+    p4::Table copy = table;
+    copy.entries.clear();
+    for (const auto& entry : table.entries) {
+      const bool keep =
+          table.is_route_table
+              ? (!entry.key_values.empty() &&
+                 kept_ids.count(entry.key_values.front()) > 0)
+              : wanted.count(entry.action_function) > 0;
+      if (keep) copy.entries.push_back(entry);
+    }
+    if (!copy.entries.empty()) out.spec.tables.push_back(copy);
+  }
+
+  // Program: actions plus everything they transitively call.
+  const microc::Program& prog = bundle.lambdas;
+  std::vector<bool> keep_fn(prog.functions.size(), false);
+  std::vector<std::size_t> worklist;
+  for (const auto& name : wanted) {
+    const std::size_t idx = prog.function_index(name);
+    if (idx != microc::Program::kNoFunction && !keep_fn[idx]) {
+      keep_fn[idx] = true;
+      worklist.push_back(idx);
+    }
+  }
+  while (!worklist.empty()) {
+    const std::size_t idx = worklist.back();
+    worklist.pop_back();
+    for (const auto& block : prog.functions[idx].blocks) {
+      for (const auto& instr : block.instrs) {
+        if (instr.op != microc::Opcode::kCall) continue;
+        const auto callee = static_cast<std::size_t>(instr.imm);
+        if (callee < prog.functions.size() && !keep_fn[callee]) {
+          keep_fn[callee] = true;
+          worklist.push_back(callee);
+        }
+      }
+    }
+  }
+
+  // Memory objects referenced by surviving code.
+  std::vector<bool> keep_obj(prog.objects.size(), false);
+  for (std::size_t f = 0; f < prog.functions.size(); ++f) {
+    if (!keep_fn[f]) continue;
+    for (const auto& block : prog.functions[f].blocks) {
+      for (const auto& instr : block.instrs) {
+        if (uses_obj(instr.op) && instr.obj < prog.objects.size()) {
+          keep_obj[instr.obj] = true;
+        }
+        if (uses_obj2(instr.op) && instr.obj2 < prog.objects.size()) {
+          keep_obj[instr.obj2] = true;
+        }
+      }
+    }
+  }
+
+  // Rebuild with order preserved, remapping call and object operands.
+  std::vector<std::size_t> fn_map(prog.functions.size(),
+                                  microc::Program::kNoFunction);
+  std::vector<std::uint16_t> obj_map(prog.objects.size(), 0);
+  out.lambdas.name = prog.name;
+  out.lambdas.parsed_fields = prog.parsed_fields;
+  for (std::size_t o = 0; o < prog.objects.size(); ++o) {
+    if (!keep_obj[o]) continue;
+    obj_map[o] = static_cast<std::uint16_t>(out.lambdas.objects.size());
+    out.lambdas.objects.push_back(prog.objects[o]);
+  }
+  for (std::size_t f = 0; f < prog.functions.size(); ++f) {
+    if (!keep_fn[f]) continue;
+    fn_map[f] = out.lambdas.functions.size();
+    out.lambdas.functions.push_back(prog.functions[f]);
+  }
+  for (auto& fn : out.lambdas.functions) {
+    for (auto& block : fn.blocks) {
+      for (auto& instr : block.instrs) {
+        if (instr.op == microc::Opcode::kCall) {
+          instr.imm = static_cast<std::int64_t>(
+              fn_map[static_cast<std::size_t>(instr.imm)]);
+        }
+        if (uses_obj(instr.op)) instr.obj = obj_map[instr.obj];
+        if (uses_obj2(instr.op)) instr.obj2 = obj_map[instr.obj2];
+      }
+    }
+  }
+  // lambda_entries are (re)built by the lowerer at compile time; carry
+  // over any pre-assembled ones that survived.
+  for (const auto& [wid, fn_idx] : prog.lambda_entries) {
+    if (fn_idx < fn_map.size() &&
+        fn_map[fn_idx] != microc::Program::kNoFunction) {
+      out.lambdas.lambda_entries.emplace_back(
+          wid, static_cast<std::uint32_t>(fn_map[fn_idx]));
+    }
+  }
+  return out;
+}
+
+}  // namespace lnic::workloads

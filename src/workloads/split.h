@@ -1,0 +1,28 @@
+// Bundle splitting for heterogeneous placement: the workload manager
+// carves a user's Match+Lambda bundle into per-backend sub-bundles (one
+// per replica set the placement policy produced). Splitting operates on
+// the match spec's action functions — each sub-bundle keeps the selected
+// actions, every helper they transitively call, the memory objects that
+// surviving code references, and the match/route table entries for the
+// surviving workload IDs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workloads/lambdas.h"
+
+namespace lnic::workloads {
+
+/// Action-function names referenced by the bundle's match spec (non-route
+/// tables), in spec order, deduplicated.
+std::vector<std::string> bundle_actions(const WorkloadBundle& bundle);
+
+/// Restricts `bundle` to the given action functions. When `actions`
+/// covers every action of the spec the bundle is returned unchanged, so
+/// homogeneous deployments compile bit-identical firmware. Unknown names
+/// are ignored; selecting none yields an empty spec.
+WorkloadBundle split_bundle(const WorkloadBundle& bundle,
+                            const std::vector<std::string>& actions);
+
+}  // namespace lnic::workloads

@@ -61,6 +61,70 @@ TEST(Gateway, RouteEncodingRoundTrips) {
   EXPECT_FALSE(Gateway::decode_route("x|1").ok());
 }
 
+TEST(Gateway, ReplicaEncodingRoundTrips) {
+  const std::vector<Replica> replicas = {
+      Replica{1, 1, kUnknownBackendKind},  // plain: encodes as just "1"
+      Replica{2, 3, kUnknownBackendKind},  // weighted
+      Replica{3, 1, 0},                    // kind-tagged (kLambdaNic)
+      Replica{4, 2, 2},                    // both
+  };
+  const auto encoded = Gateway::encode_replicas(7, replicas);
+  EXPECT_EQ(encoded, "7|1,2*3,3@0,4*2@2");
+  const auto decoded = Gateway::decode_route(encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().workload, 7u);
+  EXPECT_EQ(decoded.value().replicas, replicas);
+  EXPECT_EQ(decoded.value().workers, (std::vector<NodeId>{1, 2, 3, 4}));
+  EXPECT_EQ(decoded.value().total_weight(), 7u);
+}
+
+TEST(Gateway, DecodeRouteRejectsMalformedReplicas) {
+  EXPECT_FALSE(Gateway::decode_route("").ok());
+  EXPECT_FALSE(Gateway::decode_route("7|").ok());
+  EXPECT_FALSE(Gateway::decode_route("7|1,,2").ok());    // empty token
+  EXPECT_FALSE(Gateway::decode_route("7|1*").ok());      // missing weight
+  EXPECT_FALSE(Gateway::decode_route("7|1*0").ok());     // zero weight
+  EXPECT_FALSE(Gateway::decode_route("7|1*x").ok());     // non-numeric
+  EXPECT_FALSE(Gateway::decode_route("7|1@").ok());      // missing kind
+  EXPECT_FALSE(Gateway::decode_route("7|1@999").ok());   // kind > 0xFF
+  EXPECT_FALSE(Gateway::decode_route("7|1@x*2").ok());   // suffixes swapped
+}
+
+TEST(Gateway, WeightedReplicasSplitTrafficProportionally) {
+  sim::Simulator sim;
+  net::Network network(sim);
+  int hits[2] = {0, 0};
+  NodeId w[2];
+  for (int i = 0; i < 2; ++i) w[i] = network.attach(nullptr);
+  for (int i = 0; i < 2; ++i) {
+    network.set_handler(w[i], [&, i](const net::Packet& p) {
+      if (p.kind != net::PacketKind::kRequest) return;
+      ++hits[i];
+      net::Packet reply;
+      reply.src = w[i];
+      reply.dst = p.src;
+      reply.kind = net::PacketKind::kResponse;
+      reply.lambda = p.lambda;
+      network.send(reply);
+    });
+  }
+  Gateway gateway(sim, network);
+  gateway.register_replicas("f", 1,
+                            {Replica{w[0], 3, kUnknownBackendKind},
+                             Replica{w[1], 1, kUnknownBackendKind}});
+  int done = 0;
+  for (int i = 0; i < 40; ++i) {
+    gateway.invoke("f", {}, [&](Result<proto::RpcResponse> r) {
+      EXPECT_TRUE(r.ok());
+      ++done;
+    });
+  }
+  sim.run();
+  EXPECT_EQ(done, 40);
+  EXPECT_EQ(hits[0], 30);  // weight 3 of 4
+  EXPECT_EQ(hits[1], 10);  // weight 1 of 4
+}
+
 struct GatewayRig {
   sim::Simulator sim;
   net::Network network{sim};

@@ -52,6 +52,92 @@ TEST(Integration, SourceAuthoredBundleServedByCluster) {
   EXPECT_EQ(v, 42u);
 }
 
+TEST(Integration, HybridClusterServesEveryFunctionUnderNicFirst) {
+  // The headline placement scenario: a mixed pool deploys the standard
+  // bundle, NIC workers host everything (it fits), and every function
+  // answers through the weighted routes.
+  core::ClusterConfig config;
+  config.worker_kinds = {
+      backends::BackendKind::kLambdaNic, backends::BackendKind::kLambdaNic,
+      backends::BackendKind::kBareMetal, backends::BackendKind::kContainer};
+  core::Cluster cluster(config);
+  auto record = cluster.deploy(workloads::make_standard_workloads());
+  ASSERT_TRUE(record.ok()) << record.error().message;
+  EXPECT_EQ(record.value().policy, "nic-first");
+  EXPECT_EQ(record.value().placements.size(), 4u);
+  cluster.wait_until_ready();
+
+  auto web = cluster.invoke_and_wait("web_server",
+                                     workloads::encode_web_request(1));
+  ASSERT_TRUE(web.ok()) << web.error().message;
+  ASSERT_TRUE(cluster.invoke_and_wait("kv_client_get",
+                                      workloads::encode_kv_request(5))
+                  .ok());
+  ASSERT_TRUE(cluster.invoke_and_wait("kv_client_set",
+                                      workloads::encode_kv_request(5, 9))
+                  .ok());
+  const auto img = workloads::make_test_image(64, 64, 3);
+  ASSERT_TRUE(cluster
+                  .invoke_and_wait("image_transformer",
+                                   workloads::encode_image_request(
+                                       img.width, img.height, img.rgba))
+                  .ok());
+}
+
+TEST(Integration, OversizeLambdaSpillsToHostRestStayOnNic) {
+  // Blow the web server past the 16 K instruction store: NicFirst must
+  // place it on the host workers while the other three lambdas stay
+  // NIC-resident — and both halves keep serving.
+  workloads::Scale scale;
+  scale.web_mix_rounds = 6000;
+  core::ClusterConfig config;
+  config.worker_kinds = {
+      backends::BackendKind::kLambdaNic, backends::BackendKind::kLambdaNic,
+      backends::BackendKind::kBareMetal, backends::BackendKind::kContainer};
+  core::Cluster cluster(config);
+  auto record = cluster.deploy(workloads::make_standard_workloads(scale));
+  ASSERT_TRUE(record.ok()) << record.error().message;
+
+  for (const auto& placement : record.value().placements) {
+    ASSERT_FALSE(placement.replicas.empty()) << placement.function;
+    for (const auto& replica : placement.replicas) {
+      if (placement.function == "web_server") {
+        EXPECT_NE(replica.kind, backends::BackendKind::kLambdaNic);
+      } else {
+        EXPECT_EQ(replica.kind, backends::BackendKind::kLambdaNic)
+            << placement.function;
+      }
+    }
+  }
+
+  cluster.wait_until_ready();
+  auto web = cluster.invoke_and_wait("web_server",
+                                     workloads::encode_web_request(2));
+  ASSERT_TRUE(web.ok()) << web.error().message;
+  ASSERT_TRUE(cluster.invoke_and_wait("kv_client_get",
+                                      workloads::encode_kv_request(7))
+                  .ok());
+}
+
+TEST(Integration, HomogeneousPlacementMatchesLegacyRoutes) {
+  // A homogeneous cluster routed through the placement layer must look
+  // exactly like the pre-placement cluster: every function on every
+  // worker, weight 1, plain round robin.
+  core::ClusterConfig config;
+  config.workers = 3;
+  core::Cluster cluster(config);
+  ASSERT_TRUE(cluster.deploy(workloads::make_standard_workloads()).ok());
+  cluster.wait_until_ready();
+  const auto* route = cluster.gateway().route("web_server");
+  ASSERT_NE(route, nullptr);
+  ASSERT_EQ(route->replicas.size(), 3u);
+  EXPECT_EQ(route->total_weight(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(route->workers[i], cluster.worker(i).node());
+    EXPECT_EQ(route->replicas[i].weight, 1u);
+  }
+}
+
 TEST(Integration, ImageOverLossyFabricStillExact) {
   // 5% loss on a 100+-fragment RDMA transfer: retransmission +
   // reassembly must still deliver a byte-exact grayscale result.
