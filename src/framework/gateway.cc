@@ -1,6 +1,8 @@
 #include "framework/gateway.h"
 
 #include <algorithm>
+#include <charconv>
+#include <optional>
 #include <sstream>
 
 namespace lnic::framework {
@@ -24,6 +26,18 @@ NodeId weighted_pick(const Route& route, std::size_t cursor) {
     slot -= replica.weight;
   }
   return route.replicas.back().node;
+}
+
+/// Strict non-negative integer parse: the whole token must be digits
+/// (std::stoul would accept "2x" as 2 and wrap "-1" to a huge value).
+std::optional<std::uint64_t> parse_u64(const std::string& token) {
+  if (token.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  const char* first = token.data();
+  const char* last = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  return value;
 }
 }  // namespace
 
@@ -97,8 +111,91 @@ void Gateway::invoke(const std::string& name,
     return;
   }
   metrics_.counter("gateway_requests_total{fn=" + name + "}").increment();
-  dispatch(name, std::move(payload), std::move(callback),
-           config_.failover_attempts);
+  if (config_.max_inflight_per_function == 0) {
+    dispatch(name, std::move(payload), std::move(callback),
+             config_.failover_attempts);
+    return;
+  }
+  submit(name, std::move(payload), std::move(callback));
+}
+
+void Gateway::shed(const std::string& name, InvokeCallback& callback,
+                   const char* reason) {
+  metrics_.counter("gateway_shed_total{fn=" + name + "}").increment();
+  if (callback) {
+    callback(make_error("gateway: '" + name + "' overloaded (" +
+                        std::string(reason) + ")"));
+  }
+}
+
+void Gateway::submit(const std::string& name,
+                     std::vector<std::uint8_t> payload,
+                     InvokeCallback callback) {
+  FnLoad& load = load_[name];
+  if (load.inflight < config_.max_inflight_per_function) {
+    ++load.inflight;
+    InvokeCallback done = [this, name, callback = std::move(callback)](
+                              Result<proto::RpcResponse> result) mutable {
+      on_complete(name);
+      if (callback) callback(std::move(result));
+    };
+    dispatch(name, std::move(payload), std::move(done),
+             config_.failover_attempts);
+    return;
+  }
+  if (load.queue.size() >= config_.max_queue_depth) {
+    shed(name, callback, "queue full");
+    return;
+  }
+  Queued queued;
+  queued.id = next_queued_id_++;
+  queued.payload = std::move(payload);
+  queued.callback = std::move(callback);
+  queued.enqueued_at = sim_.now();
+  const std::uint64_t qid = queued.id;
+  load.queue.push_back(std::move(queued));
+  metrics_.sampler("gateway_queue_depth{fn=" + name + "}")
+      .add(static_cast<double>(load.queue.size()));
+  // Deadline-based shedding: a queued request that cannot start in time
+  // fails fast instead of waiting for capacity that may never free up.
+  sim_.schedule(config_.queue_deadline,
+                [this, name, qid] { expire_queued(name, qid); });
+}
+
+void Gateway::expire_queued(const std::string& name, std::uint64_t queued_id) {
+  const auto it = load_.find(name);
+  if (it == load_.end()) return;
+  auto& queue = it->second.queue;
+  const auto pos = std::find_if(queue.begin(), queue.end(),
+                                [queued_id](const Queued& q) {
+                                  return q.id == queued_id;
+                                });
+  if (pos == queue.end()) return;  // already dispatched or shed
+  InvokeCallback callback = std::move(pos->callback);
+  queue.erase(pos);
+  shed(name, callback, "deadline exceeded");
+}
+
+void Gateway::on_complete(const std::string& name) {
+  FnLoad& load = load_[name];
+  if (load.inflight > 0) --load.inflight;
+  while (load.inflight < config_.max_inflight_per_function &&
+         !load.queue.empty()) {
+    Queued next = std::move(load.queue.front());
+    load.queue.pop_front();
+    if (sim_.now() - next.enqueued_at > config_.queue_deadline) {
+      shed(name, next.callback, "deadline exceeded");
+      continue;
+    }
+    ++load.inflight;
+    InvokeCallback done = [this, name, callback = std::move(next.callback)](
+                              Result<proto::RpcResponse> result) mutable {
+      on_complete(name);
+      if (callback) callback(std::move(result));
+    };
+    dispatch(name, std::move(next.payload), std::move(done),
+             config_.failover_attempts);
+  }
 }
 
 void Gateway::remove_worker(NodeId worker) {
@@ -112,56 +209,130 @@ void Gateway::remove_worker(NodeId worker) {
                        [worker](const Replica& r) { return r.node == worker; }),
         route.replicas.end());
   }
+  reinstate_worker(worker);  // drop any stale quarantine entry
+}
+
+void Gateway::quarantine_worker(NodeId worker) {
+  const bool fresh = !is_quarantined(worker);
+  quarantined_until_[worker] = sim_.now() + config_.quarantine_cooldown;
+  if (fresh) metrics_.counter("gateway_quarantine_total").increment();
+  metrics_.gauge("gateway_quarantined") =
+      static_cast<double>(quarantined_until_.size());
+  // Cooldown lapse reinstates automatically even without a HealthChecker
+  // (failed requests then re-quarantine if the worker is still dead).
+  sim_.schedule(config_.quarantine_cooldown, [this, worker] {
+    const auto it = quarantined_until_.find(worker);
+    if (it != quarantined_until_.end() && it->second <= sim_.now()) {
+      quarantined_until_.erase(it);
+      metrics_.gauge("gateway_quarantined") =
+          static_cast<double>(quarantined_until_.size());
+    }
+  });
+}
+
+void Gateway::reinstate_worker(NodeId worker) {
+  if (quarantined_until_.erase(worker) > 0) {
+    metrics_.gauge("gateway_quarantined") =
+        static_cast<double>(quarantined_until_.size());
+  }
+}
+
+bool Gateway::is_quarantined(NodeId worker) const {
+  const auto it = quarantined_until_.find(worker);
+  return it != quarantined_until_.end() && sim_.now() < it->second;
+}
+
+std::size_t Gateway::quarantined_count() const {
+  std::size_t n = 0;
+  for (const auto& [worker, until] : quarantined_until_) {
+    (void)worker;
+    if (sim_.now() < until) ++n;
+  }
+  return n;
+}
+
+NodeId Gateway::pick_worker(const std::string& name, const Route& route) {
+  const std::size_t cursor = rr_cursor_[name]++;
+  std::uint64_t healthy_weight = 0;
+  for (const auto& replica : route.replicas) {
+    if (!is_quarantined(replica.node)) healthy_weight += replica.weight;
+  }
+  // Everything quarantined: fall back to the full set so traffic keeps
+  // probing the replicas rather than failing unroutable.
+  if (healthy_weight == 0) return weighted_pick(route, cursor);
+  std::uint64_t slot = cursor % healthy_weight;
+  for (const auto& replica : route.replicas) {
+    if (is_quarantined(replica.node)) continue;
+    if (slot < replica.weight) return replica.node;
+    slot -= replica.weight;
+  }
+  return route.replicas.back().node;
 }
 
 void Gateway::dispatch(const std::string& name,
                        std::vector<std::uint8_t> payload,
                        InvokeCallback callback,
                        std::uint32_t attempts_left) {
+  const SimTime started = sim_.now();
+  // Proxy/NAT lookup happens before the request leaves the gateway; the
+  // route is re-resolved *after* the lookup so an etcd update landing
+  // during proxy_overhead is honored instead of sending to a stale copy.
+  sim_.schedule(config_.proxy_overhead,
+                [this, name, started, attempts_left,
+                 payload = std::move(payload),
+                 callback = std::move(callback)]() mutable {
+                  send_to_worker(name, std::move(payload),
+                                 std::move(callback), attempts_left, started);
+                });
+}
+
+void Gateway::send_to_worker(const std::string& name,
+                             std::vector<std::uint8_t> payload,
+                             InvokeCallback callback,
+                             std::uint32_t attempts_left, SimTime started) {
   const auto it = routes_.find(name);
   if (it == routes_.end() || it->second.workers.empty()) {
-    if (callback) callback(make_error("gateway: no workers for '" + name + "'"));
+    // The route vanished while the request was in the proxy stage.
+    metrics_.counter("gateway_unroutable_total").increment();
+    if (callback) {
+      callback(make_error("gateway: no workers for '" + name + "'"));
+    }
     return;
   }
   const Route& route = it->second;
-  const NodeId worker = weighted_pick(route, rr_cursor_[name]++);
+  const NodeId worker = pick_worker(name, route);
+  metrics_.sampler("rpc_rto_ns").add(
+      static_cast<double>(rpc_.current_rto(worker)));
 
-  const SimTime started = sim_.now();
-  // Proxy/NAT lookup happens before the request leaves the gateway.
-  sim_.schedule(config_.proxy_overhead, [this, name, worker, route, started,
-                                         attempts_left,
-                                         payload = std::move(payload),
-                                         callback = std::move(callback)]() mutable {
-    // Keep a copy in case the call fails and we fail over to a replica.
-    std::vector<std::uint8_t> retry_copy = payload;
-    rpc_.call(worker, route.workload, std::move(payload),
-              [this, name, worker, started, attempts_left,
-               retry_copy = std::move(retry_copy),
-               callback = std::move(callback)](
-                  Result<proto::RpcResponse> result) mutable {
-                if (result.ok()) {
-                  metrics_
-                      .sampler("gateway_latency_ns{fn=" + name + "}")
-                      .add(static_cast<double>(sim_.now() - started));
-                  if (callback) callback(std::move(result));
-                  return;
-                }
-                metrics_.counter("gateway_failures_total{fn=" + name + "}")
-                    .increment();
-                // The worker looks dead: drop it and fail over to the
-                // next replica (the autoscaler/manager re-adds healthy
-                // workers through etcd).
-                if (attempts_left > 0) {
-                  remove_worker(worker);
-                  metrics_.counter("gateway_failovers_total{fn=" + name + "}")
-                      .increment();
-                  dispatch(name, std::move(retry_copy), std::move(callback),
-                           attempts_left - 1);
-                  return;
-                }
+  // Keep a copy in case the call fails and we fail over to a replica.
+  std::vector<std::uint8_t> retry_copy = payload;
+  rpc_.call(worker, route.workload, std::move(payload),
+            [this, name, worker, started, attempts_left,
+             retry_copy = std::move(retry_copy),
+             callback = std::move(callback)](
+                Result<proto::RpcResponse> result) mutable {
+              if (result.ok()) {
+                metrics_
+                    .sampler("gateway_latency_ns{fn=" + name + "}")
+                    .add(static_cast<double>(sim_.now() - started));
                 if (callback) callback(std::move(result));
-              });
-  });
+                return;
+              }
+              metrics_.counter("gateway_failures_total{fn=" + name + "}")
+                  .increment();
+              // The worker looks dead: sideline it for the cooldown and
+              // fail over to the next replica (a health probe or the
+              // cooldown lapse brings it back).
+              if (attempts_left > 0) {
+                quarantine_worker(worker);
+                metrics_.counter("gateway_failovers_total{fn=" + name + "}")
+                    .increment();
+                dispatch(name, std::move(retry_copy), std::move(callback),
+                         attempts_left - 1);
+                return;
+              }
+              if (callback) callback(std::move(result));
+            });
 }
 
 std::string Gateway::encode_route(WorkloadId workload,
@@ -196,37 +367,36 @@ Result<Route> Gateway::decode_route(const std::string& encoded) {
   const auto bar = encoded.find('|');
   if (bar == std::string::npos) return malformed();
   Route route;
-  try {
-    route.workload = static_cast<WorkloadId>(
-        std::stoul(encoded.substr(0, bar)));
-    std::string rest = encoded.substr(bar + 1);
-    std::istringstream stream(rest);
-    std::string token;
-    while (std::getline(stream, token, ',')) {
-      if (token.empty()) return malformed();
-      Replica replica;
-      // "<node>[*<weight>][@<kind>]" — the optional parts in that order.
-      const auto at = token.find('@');
-      if (at != std::string::npos) {
-        const unsigned long kind = std::stoul(token.substr(at + 1));
-        if (kind > 0xFF) return malformed();
-        replica.backend_kind = static_cast<std::uint8_t>(kind);
-        token = token.substr(0, at);
-      }
-      const auto star = token.find('*');
-      if (star != std::string::npos) {
-        const unsigned long weight = std::stoul(token.substr(star + 1));
-        if (weight == 0) return malformed();
-        replica.weight = static_cast<std::uint32_t>(weight);
-        token = token.substr(0, star);
-      }
-      if (token.empty()) return malformed();
-      replica.node = static_cast<NodeId>(std::stoul(token));
-      route.workers.push_back(replica.node);
-      route.replicas.push_back(replica);
+  const auto workload = parse_u64(encoded.substr(0, bar));
+  if (!workload || *workload > 0xFFFFFFFFull) return malformed();
+  route.workload = static_cast<WorkloadId>(*workload);
+  std::istringstream stream(encoded.substr(bar + 1));
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    if (token.empty()) return malformed();
+    Replica replica;
+    // "<node>[*<weight>][@<kind>]" — the optional parts in that order.
+    const auto at = token.find('@');
+    if (at != std::string::npos) {
+      const auto kind = parse_u64(token.substr(at + 1));
+      if (!kind || *kind > 0xFF) return malformed();
+      replica.backend_kind = static_cast<std::uint8_t>(*kind);
+      token = token.substr(0, at);
     }
-  } catch (const std::exception&) {
-    return malformed();
+    const auto star = token.find('*');
+    if (star != std::string::npos) {
+      const auto weight = parse_u64(token.substr(star + 1));
+      if (!weight || *weight == 0 || *weight > 0xFFFFFFFFull) {
+        return malformed();
+      }
+      replica.weight = static_cast<std::uint32_t>(*weight);
+      token = token.substr(0, star);
+    }
+    const auto node = parse_u64(token);
+    if (!node || *node > 0xFFFFFFFFull) return malformed();
+    replica.node = static_cast<NodeId>(*node);
+    route.workers.push_back(replica.node);
+    route.replicas.push_back(replica);
   }
   if (route.replicas.empty()) return malformed();
   return route;

@@ -1,12 +1,23 @@
 // Gateway (Fig. 2/5): proxies user requests to the right workload on the
 // right worker. Built on the weakly-consistent RPC client (D3), it
 // assigns lambda-header workload IDs, load-balances across worker
-// replicas (round robin), tracks per-function latency/throughput in the
-// metrics registry, and can keep its routing table synchronized with the
-// etcd store the workload manager writes (§6.1.1).
+// replicas (weighted round robin), tracks per-function latency and
+// throughput in the metrics registry, and can keep its routing table
+// synchronized with the etcd store the workload manager writes (§6.1.1).
+//
+// Overload and failure handling:
+//  - A per-function concurrency limiter with a bounded admission queue
+//    and deadline-based shedding keeps worker queues from growing
+//    without bound; excess requests fail fast with a distinct overload
+//    error (counted in `gateway_shed_total`).
+//  - Transport failures quarantine the worker for a cooldown instead of
+//    removing it: quarantined replicas are skipped by the weighted pick,
+//    probed by the HealthChecker, and reinstated automatically on
+//    recovery (or when the cooldown lapses).
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <string>
@@ -29,6 +40,18 @@ struct GatewayConfig {
   /// On transport failure (retransmissions exhausted — worker dead),
   /// fail the request over to the next replica up to this many times.
   std::uint32_t failover_attempts = 1;
+  /// How long a failed-over worker stays out of the rotation before it
+  /// becomes eligible again (a HealthChecker probe can reinstate it
+  /// earlier — or keep extending the quarantine while probes fail).
+  SimDuration quarantine_cooldown = seconds(2);
+  /// Per-function concurrency cap; 0 disables the limiter (legacy
+  /// behavior: every admitted request dispatches immediately).
+  std::uint32_t max_inflight_per_function = 0;
+  /// Bounded admission queue used once the limiter is saturated;
+  /// arrivals beyond it are shed immediately.
+  std::size_t max_queue_depth = 64;
+  /// Queued requests older than this are shed (deadline-based shedding).
+  SimDuration queue_deadline = milliseconds(50);
   proto::RpcConfig rpc;
 };
 
@@ -94,13 +117,25 @@ class Gateway {
   }
   const Route* route(const std::string& name) const;
 
-  /// Invokes a function by name; the callback receives the response (or
-  /// a transport error after retransmissions are exhausted).
+  /// Invokes a function by name; the callback receives the response, a
+  /// transport error after failovers are exhausted, or an overload error
+  /// if the request was shed.
   void invoke(const std::string& name, std::vector<std::uint8_t> payload,
               InvokeCallback callback);
 
-  /// Drops a worker from every route (operator action or health check).
+  /// Drops a worker from every route (explicit operator action; failure
+  /// handling uses quarantine_worker instead).
   void remove_worker(NodeId worker);
+
+  /// Sidelines a worker for `quarantine_cooldown`: it stays in every
+  /// route but the dispatcher skips it while quarantined. Re-quarantining
+  /// extends the cooldown.
+  void quarantine_worker(NodeId worker);
+  /// Puts a quarantined worker back in the rotation (health probe
+  /// succeeded, or operator action).
+  void reinstate_worker(NodeId worker);
+  bool is_quarantined(NodeId worker) const;
+  std::size_t quarantined_count() const;
 
   /// Mirrors routes from etcd: keys "route/<name>" with value
   /// "<wid>|<replica>,<replica>,...". Applies current entries and watches
@@ -123,16 +158,43 @@ class Gateway {
   proto::RpcClient& rpc() { return rpc_; }
 
  private:
-  void apply_route_key(const std::string& key, const std::string& value);
-  bool admit(const std::string& name);  // token-bucket check
-  void dispatch(const std::string& name, std::vector<std::uint8_t> payload,
-                InvokeCallback callback, std::uint32_t attempts_left);
-
   struct Bucket {
     RateLimit limit;
     double tokens = 0.0;
     SimTime refilled_at = 0;
   };
+
+  struct Queued {
+    std::uint64_t id = 0;
+    std::vector<std::uint8_t> payload;
+    InvokeCallback callback;
+    SimTime enqueued_at = 0;
+  };
+
+  /// Per-function limiter state (only populated when the limiter is on).
+  struct FnLoad {
+    std::uint32_t inflight = 0;
+    std::deque<Queued> queue;
+  };
+
+  void apply_route_key(const std::string& key, const std::string& value);
+  bool admit(const std::string& name);  // token-bucket check
+  void dispatch(const std::string& name, std::vector<std::uint8_t> payload,
+                InvokeCallback callback, std::uint32_t attempts_left);
+  /// Route resolution + replica pick + rpc send; runs after the proxy
+  /// delay so route updates landing mid-flight take effect.
+  void send_to_worker(const std::string& name,
+                      std::vector<std::uint8_t> payload,
+                      InvokeCallback callback, std::uint32_t attempts_left,
+                      SimTime started);
+  NodeId pick_worker(const std::string& name, const Route& route);
+  /// Limiter entry: dispatch now or queue/shed.
+  void submit(const std::string& name, std::vector<std::uint8_t> payload,
+              InvokeCallback callback);
+  void on_complete(const std::string& name);
+  void shed(const std::string& name, InvokeCallback& callback,
+            const char* reason);
+  void expire_queued(const std::string& name, std::uint64_t queued_id);
 
   sim::Simulator& sim_;
   GatewayConfig config_;
@@ -140,6 +202,9 @@ class Gateway {
   std::map<std::string, Route> routes_;
   std::map<std::string, std::size_t> rr_cursor_;
   std::map<std::string, Bucket> buckets_;
+  std::map<std::string, FnLoad> load_;
+  std::map<NodeId, SimTime> quarantined_until_;
+  std::uint64_t next_queued_id_ = 1;
   MetricsRegistry metrics_;
 };
 

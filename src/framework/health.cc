@@ -18,21 +18,33 @@ void HealthChecker::watch(NodeId worker,
 }
 
 void HealthChecker::probe_all() {
+  // Quarantined workers are probed too: a successful probe is what
+  // reinstates them.
   for (auto& [worker, state] : state_) {
-    if (state.dead) continue;
     const NodeId target = worker;
     WorkerState* ws = &state;
     rpc_.call(target, config_.probe_workload, ws->payload,
               [this, target, ws](Result<proto::RpcResponse> result) {
                 if (result.ok()) {
                   ws->consecutive_failures = 0;
+                  if (ws->quarantined) {
+                    ws->quarantined = false;
+                    ++recoveries_;
+                    gateway_.reinstate_worker(target);
+                    if (on_recovered_) on_recovered_(target);
+                  }
                   return;
                 }
-                if (++ws->consecutive_failures >= config_.max_failures &&
-                    !ws->dead) {
-                  ws->dead = true;
-                  ++removals_;
-                  gateway_.remove_worker(target);
+                if (ws->quarantined) {
+                  // Still down: extend the gateway-side cooldown so the
+                  // dispatcher keeps skipping it until a probe succeeds.
+                  gateway_.quarantine_worker(target);
+                  return;
+                }
+                if (++ws->consecutive_failures >= config_.max_failures) {
+                  ws->quarantined = true;
+                  ++quarantines_;
+                  gateway_.quarantine_worker(target);
                   if (on_dead_) on_dead_(target);
                 }
               });

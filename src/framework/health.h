@@ -1,8 +1,11 @@
 // Worker health checking: periodically probes each registered worker
 // with a tiny RPC; after `max_failures` consecutive timeouts the worker
-// is declared dead and removed from every gateway route (the manager or
-// autoscaler re-adds it after recovery). Complements the gateway's
-// per-request failover with proactive detection.
+// is quarantined in the gateway (skipped by the dispatcher but kept in
+// every route). Quarantined workers keep being probed — the first
+// successful probe reinstates them automatically, closing the
+// quarantine → probe → reinstate loop without manager intervention.
+// Complements the gateway's per-request failover with proactive
+// detection and recovery.
 #pragma once
 
 #include <cstdint>
@@ -39,12 +42,20 @@ class HealthChecker {
 
   bool is_healthy(NodeId worker) const {
     const auto it = state_.find(worker);
-    return it != state_.end() && !it->second.dead;
+    return it != state_.end() && !it->second.quarantined;
   }
-  std::uint64_t removals() const { return removals_; }
+  /// Workers currently quarantined by this checker.
+  std::uint64_t quarantines() const { return quarantines_; }
+  /// Times a quarantined worker recovered and was reinstated.
+  std::uint64_t recoveries() const { return recoveries_; }
+  /// Legacy name from the remove-on-death era; now counts quarantines.
+  std::uint64_t removals() const { return quarantines_; }
 
-  /// Called when a worker is declared dead (after route removal).
+  /// Called when a worker is quarantined / reinstated.
   void set_on_dead(std::function<void(NodeId)> fn) { on_dead_ = std::move(fn); }
+  void set_on_recovered(std::function<void(NodeId)> fn) {
+    on_recovered_ = std::move(fn);
+  }
 
  private:
   void probe_all();
@@ -52,7 +63,7 @@ class HealthChecker {
   struct WorkerState {
     std::vector<std::uint8_t> payload;
     std::uint32_t consecutive_failures = 0;
-    bool dead = false;
+    bool quarantined = false;
   };
 
   sim::Simulator& sim_;
@@ -61,8 +72,10 @@ class HealthChecker {
   proto::RpcClient rpc_;
   sim::PeriodicTimer timer_;
   std::map<NodeId, WorkerState> state_;
-  std::uint64_t removals_ = 0;
+  std::uint64_t quarantines_ = 0;
+  std::uint64_t recoveries_ = 0;
   std::function<void(NodeId)> on_dead_;
+  std::function<void(NodeId)> on_recovered_;
 };
 
 }  // namespace lnic::framework

@@ -60,7 +60,7 @@ void ObjectStore::reset(const Program& program) {
     if (obj.scope == MemScope::kGlobal) {
       data_[i].assign(obj.size, 0);
       const auto n = std::min<std::size_t>(obj.initial_data.size(), obj.size);
-      std::memcpy(data_[i].data(), obj.initial_data.data(), n);
+      if (n > 0) std::memcpy(data_[i].data(), obj.initial_data.data(), n);
     }
   }
 }
@@ -142,7 +142,7 @@ Outcome Machine::run_function(std::size_t function_index,
     if (obj.scope == MemScope::kLocal) {
       locals_[i].assign(obj.size, 0);
       const auto n = std::min<std::size_t>(obj.initial_data.size(), obj.size);
-      std::memcpy(locals_[i].data(), obj.initial_data.data(), n);
+      if (n > 0) std::memcpy(locals_[i].data(), obj.initial_data.data(), n);
     }
   }
 

@@ -1,11 +1,46 @@
 #include "proto/rpc.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace lnic::proto {
 
 using net::Packet;
 using net::PacketKind;
+
+namespace {
+
+/// Deterministic jitter for backed-off retransmissions: a SplitMix64-style
+/// hash of (request id, retry count) keeps replays bit-reproducible while
+/// decorrelating the retry clocks of concurrent requests.
+std::uint64_t jitter_hash(RequestId id, std::uint32_t retries) {
+  std::uint64_t z = id * 0x9E3779B97F4A7C15ull + retries;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void RttEstimator::sample(SimDuration rtt) {
+  const double r = static_cast<double>(rtt);
+  if (!has_) {
+    // First sample (RFC 6298 §2.2): srtt = R, rttvar = R/2.
+    srtt_ = r;
+    rttvar_ = r / 2.0;
+    has_ = true;
+    return;
+  }
+  const double err = r - srtt_;
+  srtt_ += err / 8.0;
+  rttvar_ += (std::abs(err) - rttvar_) / 4.0;
+}
+
+SimDuration RttEstimator::rto(SimDuration min_rto, SimDuration max_rto) const {
+  const double raw = srtt_ + 4.0 * rttvar_;
+  const auto rto = static_cast<SimDuration>(raw);
+  return std::clamp(rto, min_rto, max_rto);
+}
 
 RpcClient::RpcClient(sim::Simulator& sim, net::Network& network,
                      RpcConfig config)
@@ -27,6 +62,22 @@ void RpcClient::call(NodeId dst, WorkloadId workload,
   arm_timer(id);
 }
 
+SimDuration RpcClient::current_rto(NodeId dst) const {
+  if (config_.adaptive) {
+    const auto it = estimators_.find(dst);
+    if (it != estimators_.end() && it->second.has_sample()) {
+      return it->second.rto(config_.min_rto, config_.max_rto);
+    }
+  }
+  return config_.retransmit_timeout;
+}
+
+const RttEstimator* RpcClient::estimator(NodeId dst) const {
+  const auto it = estimators_.find(dst);
+  if (it == estimators_.end() || !it->second.has_sample()) return nullptr;
+  return &it->second;
+}
+
 void RpcClient::transmit(RequestId id) {
   const Pending& p = pending_.at(id);
   net::LambdaHeader hdr;
@@ -41,9 +92,27 @@ void RpcClient::transmit(RequestId id) {
   for (auto& f : frags) network_.send(std::move(f));
 }
 
+SimDuration RpcClient::retransmit_delay(const Pending& p, RequestId id) const {
+  if (!config_.adaptive) return config_.retransmit_timeout;
+  SimDuration base = current_rto(p.dst);
+  // Exponential backoff on consecutive retries of the same request,
+  // saturating at max_rto.
+  for (std::uint32_t i = 0; i < p.retries && base < config_.max_rto; ++i) {
+    base = std::min<SimDuration>(config_.max_rto, base * 2);
+  }
+  if (p.retries > 0 && base > 4) {
+    // Up to 25% deterministic jitter so synchronized retries fan out
+    // instead of re-colliding (the retransmission-storm guard).
+    base += static_cast<SimDuration>(jitter_hash(id, p.retries) %
+                                     static_cast<std::uint64_t>(base / 4));
+    base = std::min(base, config_.max_rto);
+  }
+  return base;
+}
+
 void RpcClient::arm_timer(RequestId id) {
   Pending& p = pending_.at(id);
-  p.timer = sim_.schedule(config_.retransmit_timeout,
+  p.timer = sim_.schedule(retransmit_delay(p, id),
                           [this, id] { on_timeout(id); });
 }
 
@@ -64,6 +133,7 @@ void RpcClient::on_timeout(RequestId id) {
   // Weakly-consistent delivery: resend the whole message; receivers
   // treat duplicate (src, request id) pairs idempotently.
   p.frags.clear();
+  p.got.clear();
   p.received = 0;
   transmit(id);
   arm_timer(id);
@@ -74,13 +144,27 @@ void RpcClient::on_packet(const Packet& packet) {
   auto it = pending_.find(packet.lambda.request_id);
   if (it == pending_.end()) return;  // late duplicate after completion
   Pending& p = it->second;
-  if (p.frags.empty()) p.frags.resize(packet.lambda.frag_count);
-  if (packet.lambda.frag_index >= p.frags.size()) return;
-  if (p.frags[packet.lambda.frag_index].empty()) {
-    p.frags[packet.lambda.frag_index] = packet.payload;
-    ++p.received;
+  const std::uint32_t count = packet.lambda.frag_count;
+  if (count == 0) return;  // malformed header
+  if (p.frags.empty()) {
+    p.frags.resize(count);
+    p.got.assign(count, false);
+  } else if (count != p.frags.size()) {
+    return;  // inconsistent frag_count across fragments: drop
   }
+  const std::uint32_t index = packet.lambda.frag_index;
+  if (index >= p.frags.size()) return;
+  if (p.got[index]) return;  // duplicate fragment (possibly empty)
+  p.got[index] = true;
+  p.frags[index] = packet.payload;
+  ++p.received;
   if (p.received < p.frags.size()) return;
+
+  // Karn's rule: a response to a retransmitted request is ambiguous (it
+  // may answer any of the transmissions), so it contributes no sample.
+  if (p.retries == 0) {
+    estimators_[p.dst].sample(sim_.now() - p.sent_at);
+  }
 
   RpcResponse response;
   for (auto& f : p.frags) {

@@ -8,6 +8,14 @@
 // payloads (RDMA-style writes), reassembles multi-fragment responses,
 // arms a retransmission timer per request, and reports per-request
 // latency and retry counts.
+//
+// The retransmission timer runs in one of two modes:
+//  - fixed (default): every request re-arms after `retransmit_timeout`,
+//    bit-identical to the original sender.
+//  - adaptive: per-destination Jacobson/Karels RTT estimation drives the
+//    timer (RTO = srtt + 4·rttvar clamped to [min_rto, max_rto]), with
+//    exponential backoff and deterministic jitter on consecutive retries
+//    and Karn's rule (no RTT sample from retransmitted requests).
 #pragma once
 
 #include <cstdint>
@@ -24,8 +32,35 @@
 namespace lnic::proto {
 
 struct RpcConfig {
+  /// Fixed-mode timer, and the initial RTO in adaptive mode before the
+  /// first RTT sample arrives (RFC 6298 style).
   SimDuration retransmit_timeout = milliseconds(50);
   std::uint32_t max_retries = 5;
+  /// Enables per-destination RTT estimation + backoff. Off by default so
+  /// existing fixed-timer deployments replay bit-for-bit.
+  bool adaptive = false;
+  /// Clamp bounds for the adaptive RTO.
+  SimDuration min_rto = microseconds(200);
+  SimDuration max_rto = seconds(2);
+};
+
+/// Jacobson/Karels smoothed RTT estimator (gains 1/8 and 1/4, as in
+/// TCP). One instance per destination; fed only by unambiguous samples
+/// (Karn's rule is enforced by the caller).
+class RttEstimator {
+ public:
+  void sample(SimDuration rtt);
+  bool has_sample() const { return has_; }
+  SimDuration srtt() const { return static_cast<SimDuration>(srtt_); }
+  SimDuration rttvar() const { return static_cast<SimDuration>(rttvar_); }
+
+  /// RTO = srtt + 4·rttvar clamped to [min_rto, max_rto].
+  SimDuration rto(SimDuration min_rto, SimDuration max_rto) const;
+
+ private:
+  double srtt_ = 0.0;
+  double rttvar_ = 0.0;
+  bool has_ = false;
 };
 
 struct RpcResponse {
@@ -52,6 +87,14 @@ class RpcClient {
   std::uint64_t failures() const { return failures_; }
   std::uint64_t inflight() const { return pending_.size(); }
 
+  /// The timer a fresh (retries == 0) request to `dst` would arm right
+  /// now: the adaptive RTO once a sample exists, else the configured
+  /// fixed/initial timeout.
+  SimDuration current_rto(NodeId dst) const;
+
+  /// The destination's estimator, or nullptr before the first sample.
+  const RttEstimator* estimator(NodeId dst) const;
+
  private:
   struct Pending {
     NodeId dst;
@@ -61,8 +104,10 @@ class RpcClient {
     SimTime sent_at;
     std::uint32_t retries = 0;
     sim::EventId timer = sim::kInvalidEvent;
-    // Response reassembly.
+    // Response reassembly: `got` tracks receipt explicitly so duplicate
+    // or zero-length fragments can never double-count.
     std::vector<std::vector<std::uint8_t>> frags;
+    std::vector<bool> got;
     std::uint32_t received = 0;
   };
 
@@ -70,6 +115,7 @@ class RpcClient {
   void arm_timer(RequestId id);
   void on_timeout(RequestId id);
   void on_packet(const net::Packet& packet);
+  SimDuration retransmit_delay(const Pending& p, RequestId id) const;
 
   sim::Simulator& sim_;
   net::Network& network_;
@@ -77,6 +123,7 @@ class RpcClient {
   NodeId node_;
   RequestId next_id_ = 1;
   std::map<RequestId, Pending> pending_;
+  std::map<NodeId, RttEstimator> estimators_;
   std::uint64_t retransmissions_ = 0;
   std::uint64_t failures_ = 0;
 };

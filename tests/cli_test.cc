@@ -5,6 +5,7 @@
 
 #include <array>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <string>
 
@@ -40,7 +41,11 @@ void write_file(const std::string& path, const std::string& content) {
 class CliTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = ::testing::TempDir();
+    // Per-test directory: ctest runs the discovered cases as separate
+    // processes, concurrently — sharing TempDir() directly races.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = ::testing::TempDir() + "lnic_cli_" + info->name() + "/";
+    std::filesystem::create_directories(dir_);
     write_file(dir_ + "adder.mc", R"(
       global u8 scratch[32];
       int adder() {

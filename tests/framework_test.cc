@@ -90,6 +90,27 @@ TEST(Gateway, DecodeRouteRejectsMalformedReplicas) {
   EXPECT_FALSE(Gateway::decode_route("7|1@x*2").ok());   // suffixes swapped
 }
 
+TEST(Gateway, DecodeRouteRejectsTrailingGarbageAndSigns) {
+  // std::stoul used to accept these: "2x" parsed as node 2, "-1" wrapped
+  // to a huge unsigned, whitespace was skipped.
+  EXPECT_FALSE(Gateway::decode_route("7|2x,3").ok());
+  EXPECT_FALSE(Gateway::decode_route("7|-1").ok());
+  EXPECT_FALSE(Gateway::decode_route("-7|1").ok());
+  EXPECT_FALSE(Gateway::decode_route("7|+1").ok());
+  EXPECT_FALSE(Gateway::decode_route("7x|1").ok());
+  EXPECT_FALSE(Gateway::decode_route(" 7|1").ok());
+  EXPECT_FALSE(Gateway::decode_route("7| 1").ok());
+  EXPECT_FALSE(Gateway::decode_route("7|1 ").ok());
+  EXPECT_FALSE(Gateway::decode_route("7|1*2y").ok());
+  EXPECT_FALSE(Gateway::decode_route("7|1@2z").ok());
+  // Out-of-range ids (NodeId/WorkloadId are 32-bit).
+  EXPECT_FALSE(Gateway::decode_route("7|99999999999").ok());
+  EXPECT_FALSE(Gateway::decode_route("99999999999|1").ok());
+  // Sanity: the strict parser still accepts well-formed routes.
+  EXPECT_TRUE(Gateway::decode_route("7|2,3").ok());
+  EXPECT_TRUE(Gateway::decode_route("7|2*2@1,3").ok());
+}
+
 TEST(Gateway, WeightedReplicasSplitTrafficProportionally) {
   sim::Simulator sim;
   net::Network network(sim);
@@ -368,17 +389,24 @@ TEST(Gateway, FailsOverToReplicaWhenWorkerDies) {
       }
     });
   }
-  sim.run();
+  sim.run_until(milliseconds(200));
   // Requests that initially hit the dead worker fail over to the live
-  // one; after the first failure the dead worker is dropped from the
-  // route entirely.
+  // one; after the first failure the dead worker is quarantined (kept in
+  // the route, skipped by the dispatcher) rather than removed.
   EXPECT_EQ(ok, 6);
   EXPECT_EQ(failed, 0);
   ASSERT_NE(gateway.route("f"), nullptr);
   EXPECT_EQ(gateway.route("f")->workers,
-            (std::vector<NodeId>{live}));
+            (std::vector<NodeId>{dead, live}));
+  EXPECT_TRUE(gateway.is_quarantined(dead));
+  EXPECT_FALSE(gateway.is_quarantined(live));
   EXPECT_GE(
       gateway.metrics().counter("gateway_failovers_total{fn=f}").value(), 1u);
+  EXPECT_GE(gateway.metrics().counter("gateway_quarantine_total").value(), 1u);
+  // Once the cooldown lapses the worker re-enters the rotation on its
+  // own (no manager intervention).
+  sim.run();
+  EXPECT_FALSE(gateway.is_quarantined(dead));
 }
 
 TEST(Gateway, FailoverExhaustionReportsError) {
@@ -471,13 +499,18 @@ TEST(HealthChecker, RemovesDeadWorkerFromRoutes) {
 
   worker0_alive = false;  // w0 crashes
   sim.run_until(milliseconds(250) + milliseconds(600));
+  // The dead worker stays in the route but is quarantined in the gateway
+  // (the dispatcher skips it until a probe succeeds again).
+  EXPECT_FALSE(checker.is_healthy(w0));
+  EXPECT_TRUE(checker.is_healthy(w1));
+  EXPECT_EQ(gateway.route("f")->workers, (std::vector<NodeId>{w0, w1}));
+  EXPECT_TRUE(gateway.is_quarantined(w0));
+  EXPECT_FALSE(gateway.is_quarantined(w1));
   checker.stop();
   sim.run();
   EXPECT_FALSE(checker.is_healthy(w0));
-  EXPECT_TRUE(checker.is_healthy(w1));
   EXPECT_EQ(reported_dead, w0);
   EXPECT_EQ(checker.removals(), 1u);
-  EXPECT_EQ(gateway.route("f")->workers, (std::vector<NodeId>{w1}));
 }
 
 TEST(HealthChecker, TransientFailureDoesNotKill) {
@@ -559,6 +592,251 @@ TEST(Autoscaler, ScalesUpUnderLoadAndBackDown) {
   sim.run();
   EXPECT_EQ(scaler.replicas("hot"), config.min_replicas);
   EXPECT_GT(scaler.scale_events(), 1u);
+}
+
+// --------------------------------------------- quarantine and overload
+
+/// Two echo workers with per-worker hit counts and a kill switch.
+struct EchoPair {
+  sim::Simulator& sim;
+  net::Network& network;
+  NodeId node[2];
+  int hits[2] = {0, 0};
+  bool alive[2] = {true, true};
+
+  explicit EchoPair(sim::Simulator& s, net::Network& net)
+      : sim(s), network(net) {
+    for (int i = 0; i < 2; ++i) {
+      node[i] = network.attach(nullptr);
+      network.set_handler(node[i], [this, i](const net::Packet& p) {
+        if (!alive[i] || p.kind != net::PacketKind::kRequest) return;
+        ++hits[i];
+        net::Packet reply;
+        reply.src = node[i];
+        reply.dst = p.src;
+        reply.kind = net::PacketKind::kResponse;
+        reply.lambda = p.lambda;
+        reply.payload = {static_cast<std::uint8_t>(i)};
+        network.send(reply);
+      });
+    }
+  }
+};
+
+TEST(Gateway, QuarantinedWorkerIsSkippedAndReinstated) {
+  sim::Simulator sim;
+  net::Network network(sim);
+  EchoPair workers(sim, network);
+  Gateway gateway(sim, network);
+  gateway.register_function("f", 1, {workers.node[0], workers.node[1]});
+
+  gateway.quarantine_worker(workers.node[0]);
+  EXPECT_TRUE(gateway.is_quarantined(workers.node[0]));
+  EXPECT_EQ(gateway.quarantined_count(), 1u);
+  int ok = 0;
+  for (int i = 0; i < 10; ++i) {
+    gateway.invoke("f", {}, [&](Result<proto::RpcResponse> r) {
+      if (r.ok()) ++ok;
+    });
+  }
+  sim.run_until(milliseconds(10));
+  EXPECT_EQ(ok, 10);
+  EXPECT_EQ(workers.hits[0], 0);  // skipped while quarantined
+  EXPECT_EQ(workers.hits[1], 10);
+
+  gateway.reinstate_worker(workers.node[0]);
+  EXPECT_FALSE(gateway.is_quarantined(workers.node[0]));
+  for (int i = 0; i < 10; ++i) {
+    gateway.invoke("f", {}, [&](Result<proto::RpcResponse> r) {
+      if (r.ok()) ++ok;
+    });
+  }
+  sim.run();
+  EXPECT_EQ(ok, 20);
+  EXPECT_EQ(workers.hits[0], 5);  // back in the weighted rotation
+  EXPECT_EQ(workers.hits[1], 15);
+}
+
+TEST(Gateway, AllQuarantinedFallsBackToFullReplicaSet) {
+  sim::Simulator sim;
+  net::Network network(sim);
+  EchoPair workers(sim, network);
+  Gateway gateway(sim, network);
+  gateway.register_function("f", 1, {workers.node[0], workers.node[1]});
+  gateway.quarantine_worker(workers.node[0]);
+  gateway.quarantine_worker(workers.node[1]);
+  int ok = 0;
+  for (int i = 0; i < 4; ++i) {
+    gateway.invoke("f", {}, [&](Result<proto::RpcResponse> r) {
+      if (r.ok()) ++ok;
+    });
+  }
+  sim.run_until(milliseconds(10));
+  // Traffic keeps flowing (and keeps probing) instead of failing
+  // unroutable when every replica is sidelined.
+  EXPECT_EQ(ok, 4);
+  EXPECT_EQ(workers.hits[0] + workers.hits[1], 4);
+}
+
+TEST(Gateway, ShedsWhenConcurrencyAndQueueAreFull) {
+  sim::Simulator sim;
+  net::Network network(sim);
+  // A worker that replies only after 10 ms, so requests pile up.
+  net::Network* net_ptr = &network;
+  NodeId slow = network.attach(nullptr);
+  network.set_handler(slow, [&, slow](const net::Packet& p) {
+    if (p.kind != net::PacketKind::kRequest) return;
+    net::Packet reply;
+    reply.src = slow;
+    reply.dst = p.src;
+    reply.kind = net::PacketKind::kResponse;
+    reply.lambda = p.lambda;
+    sim.schedule(milliseconds(10), [net_ptr, reply] { net_ptr->send(reply); });
+  });
+  GatewayConfig config;
+  config.max_inflight_per_function = 1;
+  config.max_queue_depth = 1;
+  config.queue_deadline = seconds(1);  // no deadline shedding here
+  config.rpc.retransmit_timeout = milliseconds(50);
+  Gateway gateway(sim, network, config);
+  gateway.register_function("f", 1, {slow});
+
+  int ok = 0, overloaded = 0;
+  for (int i = 0; i < 3; ++i) {
+    gateway.invoke("f", {}, [&](Result<proto::RpcResponse> r) {
+      if (r.ok()) {
+        ++ok;
+      } else {
+        EXPECT_NE(r.error().message.find("overloaded"), std::string::npos);
+        ++overloaded;
+      }
+    });
+  }
+  // The third arrival is shed synchronously (limiter full, queue full).
+  EXPECT_EQ(overloaded, 1);
+  sim.run();
+  EXPECT_EQ(ok, 2);  // inflight + the queued one complete in turn
+  EXPECT_EQ(
+      gateway.metrics().counter("gateway_shed_total{fn=f}").value(), 1u);
+  // Shed is distinct from rate-limit throttling.
+  EXPECT_EQ(
+      gateway.metrics().counter("gateway_throttled_total{fn=f}").value(), 0u);
+}
+
+TEST(Gateway, QueueDeadlineShedsStaleRequests) {
+  sim::Simulator sim;
+  net::Network network(sim);
+  NodeId dead = network.attach(nullptr);  // never replies
+  GatewayConfig config;
+  config.max_inflight_per_function = 1;
+  config.max_queue_depth = 8;
+  config.queue_deadline = milliseconds(5);
+  config.failover_attempts = 0;
+  config.rpc.retransmit_timeout = milliseconds(20);
+  config.rpc.max_retries = 2;  // first request fails after ~60 ms
+  Gateway gateway(sim, network, config);
+  gateway.register_function("f", 1, {dead});
+
+  std::vector<std::string> errors;
+  SimTime second_failed_at = -1;
+  gateway.invoke("f", {}, [&](Result<proto::RpcResponse> r) {
+    errors.push_back(r.error().message);
+  });
+  gateway.invoke("f", {}, [&](Result<proto::RpcResponse> r) {
+    errors.push_back(r.error().message);
+    second_failed_at = sim.now();
+  });
+  sim.run();
+  ASSERT_EQ(errors.size(), 2u);
+  // The queued request was shed at its 5 ms deadline — long before the
+  // inflight one exhausted its retransmissions — with the overload error.
+  EXPECT_NE(errors[0].find("deadline"), std::string::npos);
+  EXPECT_EQ(second_failed_at, milliseconds(5));
+  EXPECT_EQ(
+      gateway.metrics().counter("gateway_shed_total{fn=f}").value(), 1u);
+}
+
+TEST(Gateway, RouteUpdateDuringProxyDelayIsHonored) {
+  sim::Simulator sim;
+  net::Network network(sim);
+  EchoPair workers(sim, network);
+  Gateway gateway(sim, network);
+  gateway.register_function("f", 1, {workers.node[0]});
+  int ok = 0;
+  gateway.invoke("f", {}, [&](Result<proto::RpcResponse> r) {
+    if (r.ok()) ++ok;
+  });
+  // The request is inside the proxy/NAT stage; an etcd-style update
+  // replaces the route before it reaches the wire.
+  gateway.register_function("f", 1, {workers.node[1]});
+  sim.run();
+  EXPECT_EQ(ok, 1);
+  EXPECT_EQ(workers.hits[0], 0);  // stale worker never contacted
+  EXPECT_EQ(workers.hits[1], 1);
+}
+
+TEST(Gateway, RouteVanishingDuringProxyDelayFailsCleanly) {
+  sim::Simulator sim;
+  net::Network network(sim);
+  EchoPair workers(sim, network);
+  Gateway gateway(sim, network);
+  gateway.register_function("f", 1, {workers.node[0]});
+  std::string error;
+  gateway.invoke("f", {}, [&](Result<proto::RpcResponse> r) {
+    ASSERT_FALSE(r.ok());
+    error = r.error().message;
+  });
+  gateway.remove_worker(workers.node[0]);  // operator drains the worker
+  sim.run();
+  EXPECT_NE(error.find("no workers"), std::string::npos);
+  EXPECT_EQ(workers.hits[0], 0);
+  EXPECT_GE(gateway.metrics().counter("gateway_unroutable_total").value(), 1u);
+}
+
+TEST(HealthChecker, QuarantineProbeReinstateRoundTrip) {
+  sim::Simulator sim;
+  net::Network network(sim);
+  EchoPair workers(sim, network);
+  Gateway gateway(sim, network);
+  gateway.register_function("f", 1, {workers.node[0], workers.node[1]});
+
+  HealthConfig config;
+  config.probe_interval = milliseconds(100);
+  config.probe_timeout = milliseconds(30);
+  config.max_failures = 2;
+  HealthChecker checker(sim, network, gateway, config);
+  checker.watch(workers.node[0], {});
+  checker.watch(workers.node[1], {});
+  NodeId recovered = kInvalidNode;
+  checker.set_on_recovered([&](NodeId n) { recovered = n; });
+  checker.start();
+
+  workers.alive[0] = false;  // crash
+  sim.run_until(milliseconds(400));
+  EXPECT_FALSE(checker.is_healthy(workers.node[0]));
+  EXPECT_TRUE(gateway.is_quarantined(workers.node[0]));
+  EXPECT_EQ(checker.quarantines(), 1u);
+
+  workers.alive[0] = true;  // recover
+  sim.run_until(milliseconds(700));
+  checker.stop();
+  // The next successful probe reinstated the worker automatically.
+  EXPECT_TRUE(checker.is_healthy(workers.node[0]));
+  EXPECT_FALSE(gateway.is_quarantined(workers.node[0]));
+  EXPECT_EQ(checker.recoveries(), 1u);
+  EXPECT_EQ(recovered, workers.node[0]);
+
+  // And it serves traffic again without manager intervention.
+  int before = workers.hits[0];
+  int ok = 0;
+  for (int i = 0; i < 8; ++i) {
+    gateway.invoke("f", {}, [&](Result<proto::RpcResponse> r) {
+      if (r.ok()) ++ok;
+    });
+  }
+  sim.run();
+  EXPECT_EQ(ok, 8);
+  EXPECT_GT(workers.hits[0], before);
 }
 
 }  // namespace

@@ -216,8 +216,11 @@ TEST(Integration, HealthCheckerPlusGatewayKeepServingThroughCrash) {
   EXPECT_EQ(failed, 0);
   EXPECT_GE(ok, 95);
   EXPECT_FALSE(checker.is_healthy(doomed->node()));
+  // The crashed worker stays in the route (quarantined until a probe
+  // succeeds) so a later recovery needs no manager intervention.
   EXPECT_EQ(gateway.route("web_server")->workers,
-            (std::vector<NodeId>{alive->node()}));
+            (std::vector<NodeId>{alive->node(), doomed->node()}));
+  EXPECT_EQ(checker.quarantines(), 1u);
 }
 
 // Property sweep: for every backend pair under identical load, λ-NIC's

@@ -209,5 +209,244 @@ TEST_P(RpcLossSweepTest, AllRequestsEventuallyComplete) {
 INSTANTIATE_TEST_SUITE_P(LossRates, RpcLossSweepTest,
                          ::testing::Values(0.0, 0.05, 0.1, 0.2));
 
+// ------------------------------------------------------ adaptive transport
+
+TEST(RttEstimator, JacobsonKarelsUpdateAndClamp) {
+  RttEstimator est;
+  EXPECT_FALSE(est.has_sample());
+  est.sample(microseconds(100));
+  ASSERT_TRUE(est.has_sample());
+  // First sample: srtt = R, rttvar = R/2, RTO = srtt + 4*rttvar = 3R.
+  EXPECT_EQ(est.srtt(), microseconds(100));
+  EXPECT_EQ(est.rttvar(), microseconds(50));
+  EXPECT_EQ(est.rto(0, seconds(10)), microseconds(300));
+  // Steady samples shrink rttvar toward zero; the clamp floors the RTO.
+  for (int i = 0; i < 200; ++i) est.sample(microseconds(100));
+  EXPECT_EQ(est.srtt(), microseconds(100));
+  EXPECT_LT(est.rttvar(), microseconds(1));
+  EXPECT_EQ(est.rto(microseconds(150), seconds(10)), microseconds(150));
+  EXPECT_EQ(est.rto(0, microseconds(90)), microseconds(90));
+}
+
+TEST(RpcClient, AdaptiveRtoConvergesToMeasuredRtt) {
+  sim::Simulator sim;
+  net::Network network(sim);
+  EchoServer server(network);
+  RpcConfig config;
+  config.adaptive = true;
+  config.min_rto = microseconds(10);
+  RpcClient client(sim, network, config);
+  // Before any sample the initial (fixed) timeout applies.
+  EXPECT_EQ(client.current_rto(server.node), config.retransmit_timeout);
+  SimDuration measured_rtt = 0;
+  int completed = 0;
+  std::function<void()> next = [&]() {
+    client.call(server.node, 1, {1, 2, 3}, [&](Result<RpcResponse> r) {
+      ASSERT_TRUE(r.ok());
+      measured_rtt = r.value().latency;
+      if (++completed < 40) next();
+    });
+  };
+  next();
+  sim.run();
+  ASSERT_EQ(completed, 40);
+  const RttEstimator* est = client.estimator(server.node);
+  ASSERT_NE(est, nullptr);
+  // The estimate tracks the real RTT and the RTO collapses far below the
+  // 50 ms fixed timer (but never below the measured RTT itself).
+  EXPECT_NEAR(static_cast<double>(est->srtt()),
+              static_cast<double>(measured_rtt),
+              static_cast<double>(measured_rtt) * 0.1);
+  EXPECT_LT(client.current_rto(server.node), milliseconds(1));
+  EXPECT_GE(client.current_rto(server.node), measured_rtt);
+  EXPECT_EQ(client.retransmissions(), 0u);
+}
+
+TEST(RpcClient, AdaptiveBackoffSpacesRetriesExponentially) {
+  sim::Simulator sim;
+  net::Network network(sim);
+  NodeId dead = network.attach(nullptr);
+  RpcConfig config;
+  config.adaptive = true;
+  config.retransmit_timeout = milliseconds(1);  // initial RTO
+  config.max_retries = 8;
+  config.max_rto = milliseconds(100);
+  RpcClient client(sim, network, config);
+  SimTime failed_at = -1;
+  client.call(dead, 1, {9}, [&](Result<RpcResponse> r) {
+    EXPECT_FALSE(r.ok());
+    failed_at = sim.now();
+  });
+  sim.run();
+  ASSERT_GE(failed_at, 0);
+  EXPECT_EQ(client.retransmissions(), 8u);
+  // A fixed 1 ms timer would give up after ~9 ms; doubling delays
+  // (1+2+4+8+16+32+64+100+100 ms, plus jitter) spread the same retry
+  // budget over hundreds of milliseconds.
+  EXPECT_GT(failed_at, milliseconds(100));
+  EXPECT_LT(failed_at, seconds(1));
+}
+
+TEST(RpcClient, KarnsRuleSkipsAmbiguousSamples) {
+  sim::Simulator sim;
+  net::Network network(sim);
+  net::Network* net_ptr = &network;
+  // Replies 5 ms after the *first* request only; duplicates are ignored,
+  // so a response always races a retransmission.
+  NodeId server = network.attach(nullptr);
+  int seen = 0;
+  network.set_handler(server, [&, server](const net::Packet& p) {
+    if (p.kind != PacketKind::kRequest) return;
+    if (seen++ > 0) return;
+    net::Packet reply;
+    reply.src = server;
+    reply.dst = p.src;
+    reply.kind = PacketKind::kResponse;
+    reply.lambda = p.lambda;
+    reply.payload = {1};
+    sim.schedule(milliseconds(5), [net_ptr, reply] { net_ptr->send(reply); });
+  });
+  RpcConfig config;
+  config.adaptive = true;
+  config.retransmit_timeout = milliseconds(1);
+  config.max_retries = 10;
+  RpcClient client(sim, network, config);
+  bool done = false;
+  client.call(server, 1, {7}, [&](Result<RpcResponse> r) {
+    ASSERT_TRUE(r.ok());
+    EXPECT_GT(r.value().retries, 0u);
+    done = true;
+  });
+  sim.run();
+  ASSERT_TRUE(done);
+  EXPECT_GT(client.retransmissions(), 0u);
+  // The completed request was retransmitted, so its (inflated) latency
+  // is ambiguous and must not have fed the estimator.
+  EXPECT_EQ(client.estimator(server), nullptr);
+  EXPECT_EQ(client.current_rto(server), config.retransmit_timeout);
+}
+
+TEST(RpcClient, DuplicateEmptyFragmentCannotCompleteResponse) {
+  sim::Simulator sim;
+  net::Network network(sim);
+  net::Network* net_ptr = &network;
+  // A two-fragment response whose first fragment is zero-length and
+  // duplicated. The old empty-as-missing marker double-counted this and
+  // completed the response with fragment 1 missing.
+  NodeId server = network.attach(nullptr);
+  network.set_handler(server, [&, server](const net::Packet& p) {
+    if (p.kind != PacketKind::kRequest) return;
+    net::Packet frag0;
+    frag0.src = server;
+    frag0.dst = p.src;
+    frag0.kind = PacketKind::kResponse;
+    frag0.lambda = p.lambda;
+    frag0.lambda.frag_index = 0;
+    frag0.lambda.frag_count = 2;
+    net_ptr->send(frag0);
+    net_ptr->send(frag0);  // duplicate of the empty fragment
+    net::Packet frag1 = frag0;
+    frag1.lambda.frag_index = 1;
+    frag1.payload = {5, 6};
+    sim.schedule(microseconds(100), [net_ptr, frag1] { net_ptr->send(frag1); });
+  });
+  RpcClient client(sim, network);
+  std::optional<RpcResponse> got;
+  client.call(server, 1, {1}, [&](Result<RpcResponse> r) {
+    ASSERT_TRUE(r.ok());
+    got = std::move(r).value();
+  });
+  // Run past the duplicates but before fragment 1: must not complete.
+  sim.run_until(microseconds(50));
+  EXPECT_FALSE(got.has_value());
+  sim.run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->payload, (std::vector<std::uint8_t>{5, 6}));
+}
+
+TEST(RpcClient, InconsistentFragCountIgnored) {
+  sim::Simulator sim;
+  net::Network network(sim);
+  net::Network* net_ptr = &network;
+  NodeId server = network.attach(nullptr);
+  network.set_handler(server, [&, server](const net::Packet& p) {
+    if (p.kind != PacketKind::kRequest) return;
+    net::Packet frag;
+    frag.src = server;
+    frag.dst = p.src;
+    frag.kind = PacketKind::kResponse;
+    frag.lambda = p.lambda;
+    frag.lambda.frag_index = 0;
+    frag.lambda.frag_count = 2;
+    frag.payload = {1};
+    net_ptr->send(frag);
+    // Claims to be the lone fragment of a 1-fragment response: conflicts
+    // with the count announced above and must be dropped, as must an
+    // out-of-range index.
+    net::Packet liar = frag;
+    liar.lambda.frag_index = 0;
+    liar.lambda.frag_count = 1;
+    net_ptr->send(liar);
+    net::Packet oob = frag;
+    oob.lambda.frag_index = 7;
+    oob.payload = {9};
+    net_ptr->send(oob);
+    net::Packet frag1 = frag;
+    frag1.lambda.frag_index = 1;
+    frag1.payload = {2};
+    net_ptr->send(frag1);
+  });
+  RpcClient client(sim, network);
+  std::optional<RpcResponse> got;
+  client.call(server, 1, {1}, [&](Result<RpcResponse> r) {
+    ASSERT_TRUE(r.ok());
+    got = std::move(r).value();
+  });
+  sim.run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->payload, (std::vector<std::uint8_t>{1, 2}));
+}
+
+// Property: the adaptive transport keeps the completion guarantee under
+// loss and reordering, while converging its RTO to the path RTT.
+class AdaptiveLossSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(AdaptiveLossSweepTest, CompletesAndConvergesUnderLoss) {
+  sim::Simulator sim;
+  net::Network network(sim, net::LinkConfig{},
+                       net::FaultConfig{.drop_probability = GetParam(),
+                                        .reorder_probability = 0.1,
+                                        .reorder_max_extra_delay =
+                                            microseconds(200)},
+                       /*seed=*/31);
+  EchoServer server(network);
+  RpcConfig config;
+  config.adaptive = true;
+  config.min_rto = microseconds(50);
+  config.max_retries = 200;
+  RpcClient client(sim, network, config);
+  int completed = 0;
+  const int n = 30;
+  for (int i = 0; i < n; ++i) {
+    client.call(server.node, 1, {static_cast<std::uint8_t>(i)},
+                [&](Result<RpcResponse> r) {
+                  ASSERT_TRUE(r.ok());
+                  ++completed;
+                });
+  }
+  sim.run();
+  EXPECT_EQ(completed, n);
+  EXPECT_EQ(client.failures(), 0u);
+  if (GetParam() > 0.0) {
+    // Clean (non-retransmitted) exchanges keep feeding the estimator, so
+    // the recovery clock sits near the path RTT, not at 50 ms.
+    ASSERT_NE(client.estimator(server.node), nullptr);
+    EXPECT_LT(client.current_rto(server.node), milliseconds(5));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, AdaptiveLossSweepTest,
+                         ::testing::Values(0.05, 0.1, 0.2));
+
 }  // namespace
 }  // namespace lnic::proto
