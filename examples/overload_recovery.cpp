@@ -5,21 +5,35 @@
 // the whole time: requests during the blackout fail fast (bounded by the
 // adaptive RTO's backoff) and everything afterwards is served normally.
 //
-//   $ ./build/examples/overload_recovery
+//   $ ./build/examples/overload_recovery [--trace trace.json]
+//
+// With --trace, every request is traced end to end (including the
+// blackout's timed-out attempts) and the run exports Chrome trace_event
+// JSON — openable in chrome://tracing or Perfetto.
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
 
 #include "backends/backend.h"
+#include "common/trace.h"
 #include "framework/health.h"
 #include "kvstore/cache_server.h"
 #include "workloads/lambdas.h"
 
 using namespace lnic;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) trace_path = argv[i + 1];
+  }
+
   std::printf("loss burst -> quarantine -> probe -> reinstate\n\n");
 
   sim::Simulator sim;
   net::Network network(sim);
+  trace::TraceRecorder recorder;
 
   // Two λ-NIC workers running the standard bundle.
   auto w0 = backends::make_backend(backends::BackendKind::kLambdaNic, sim,
@@ -43,6 +57,11 @@ int main() {
   framework::Gateway gateway(sim, network, config);
   gateway.register_function("web_server", workloads::kWebServerId,
                             {w0->node(), w1->node()});
+  if (!trace_path.empty()) {
+    gateway.set_tracer(&recorder);
+    w0->set_tracer(&recorder);
+    w1->set_tracer(&recorder);
+  }
 
   framework::HealthConfig hc;
   hc.probe_interval = milliseconds(100);
@@ -101,6 +120,18 @@ int main() {
   std::printf("  gateway p99: %.3f ms, quarantined now: %zu\n",
               gateway.latency("web_server").p99() / 1e6,
               gateway.quarantined_count());
+
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", trace_path.c_str());
+      return 1;
+    }
+    out << recorder.to_chrome_json();
+    std::printf("  traces:  %zu spans across %zu request(s) -> %s\n",
+                recorder.size(), recorder.trace_ids().size(),
+                trace_path.c_str());
+  }
 
   const bool clean = ok_after_burst > 0 && checker.quarantines() >= 1 &&
                      checker.recoveries() == checker.quarantines() &&

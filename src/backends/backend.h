@@ -71,6 +71,10 @@ class Backend {
   virtual ResourceUsage usage(SimDuration window) const = 0;
   virtual StartupProfile startup_profile() const = 0;
   virtual std::uint64_t completed() const = 0;
+  /// Attaches (nullptr detaches) a span recorder to the execution
+  /// substrate so requests carrying a trace id in their lambda header
+  /// record queueing/execution spans. No-op timing-wise.
+  virtual void set_tracer(trace::TraceRecorder* tracer) = 0;
 };
 
 /// λ-NIC: lambdas run on the SmartNIC; host CPU stays idle (§6.4).
@@ -88,6 +92,9 @@ class LambdaNicBackend : public Backend {
   StartupProfile startup_profile() const override;
   std::uint64_t completed() const override {
     return nic_.stats().requests_completed;
+  }
+  void set_tracer(trace::TraceRecorder* tracer) override {
+    nic_.set_tracer(tracer);
   }
 
   nicsim::SmartNic& nic() { return nic_; }
@@ -112,6 +119,9 @@ class HostBackend : public Backend {
   StartupProfile startup_profile() const override;
   std::uint64_t completed() const override {
     return host_.stats().requests_completed;
+  }
+  void set_tracer(trace::TraceRecorder* tracer) override {
+    host_.set_tracer(tracer);
   }
 
   hostsim::HostServer& host() { return host_; }

@@ -55,6 +55,38 @@ class Counter {
   std::uint64_t value_ = 0;
 };
 
+/// Prometheus-style bucketed histogram: cumulative counts per upper
+/// bound (an implicit +Inf bucket catches everything), plus sum and
+/// count — the fixed-memory companion to Sampler for metrics that must
+/// render as `_bucket`/`_sum`/`_count` series.
+class Histogram {
+ public:
+  /// `bounds` are inclusive upper bounds, strictly ascending.
+  explicit Histogram(std::vector<double> bounds = default_latency_bounds());
+
+  void observe(double v);
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; size() == bounds().size() + 1,
+  /// the last entry being the +Inf bucket.
+  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+  /// Cumulative count of observations <= bounds()[i].
+  std::uint64_t cumulative(std::size_t i) const;
+
+  /// Bucket-interpolated percentile estimate, p in [0, 100].
+  double percentile(double p) const;
+
+  /// Exponential nanosecond-latency buckets, 1 us .. ~8.6 s.
+  static std::vector<double> default_latency_bounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
 /// Tracks a busy/idle duty cycle, e.g. CPU core utilization.
 class UtilizationTracker {
  public:

@@ -39,6 +39,17 @@ std::optional<std::uint64_t> parse_u64(const std::string& token) {
   if (ec != std::errc() || ptr != last) return std::nullopt;
   return value;
 }
+
+/// Metric label for a replica's backend kind without pulling the
+/// backends layer into the gateway (mirrors backends::BackendKind).
+const char* backend_kind_label(std::uint8_t kind) {
+  switch (kind) {
+    case 0: return "nic";
+    case 1: return "baremetal";
+    case 2: return "container";
+    default: return "unknown";
+  }
+}
 }  // namespace
 
 Gateway::Gateway(sim::Simulator& sim, net::Network& network,
@@ -95,6 +106,25 @@ const Route* Gateway::route(const std::string& name) const {
   return it == routes_.end() ? nullptr : &it->second;
 }
 
+void Gateway::set_tracer(trace::TraceRecorder* tracer, double sample_rate) {
+  tracer_ = tracer;
+  sample_rate_ = std::clamp(sample_rate, 0.0, 1.0);
+  sample_accum_ = 0.0;
+  rpc_.set_tracer(tracer);
+}
+
+bool Gateway::sample_trace() {
+  if (tracer_ == nullptr || sample_rate_ <= 0.0) return false;
+  // Bresenham-style accumulator: every 1/rate-th request is traced, with
+  // no RNG draw so traced and untraced runs replay identically.
+  sample_accum_ += sample_rate_;
+  if (sample_accum_ >= 1.0) {
+    sample_accum_ -= 1.0;
+    return true;
+  }
+  return false;
+}
+
 void Gateway::invoke(const std::string& name,
                      std::vector<std::uint8_t> payload,
                      InvokeCallback callback) {
@@ -104,24 +134,45 @@ void Gateway::invoke(const std::string& name,
     return;
   }
   if (!admit(name)) {
-    metrics_.counter("gateway_throttled_total{fn=" + name + "}").increment();
+    metrics_.counter("gateway_throttled_total", {{"fn", name}}).increment();
     if (callback) {
       callback(make_error("gateway: '" + name + "' throttled by rate limit"));
     }
     return;
   }
-  metrics_.counter("gateway_requests_total{fn=" + name + "}").increment();
+  metrics_.counter("gateway_requests_total", {{"fn", name}}).increment();
+
+  trace::SpanContext ctx;
+  if (sample_trace()) {
+    ctx.trace = tracer_->new_trace();
+    const trace::SpanId root = tracer_->start_span(
+        ctx.trace, trace::kInvalidSpan, "request", sim_.now());
+    tracer_->annotate(root, "fn", name);
+    ctx.parent = root;
+    // The root span closes when the caller's callback fires, whatever
+    // path (success, shed, failover exhaustion) got us there.
+    callback = [this, root, callback = std::move(callback)](
+                   Result<proto::RpcResponse> result) mutable {
+      tracer_->annotate(root, "status", result.ok() ? "ok" : "error");
+      if (!result.ok()) {
+        tracer_->annotate(root, "error", result.error().message);
+      }
+      tracer_->end_span(root, sim_.now());
+      if (callback) callback(std::move(result));
+    };
+  }
+
   if (config_.max_inflight_per_function == 0) {
     dispatch(name, std::move(payload), std::move(callback),
-             config_.failover_attempts);
+             config_.failover_attempts, ctx);
     return;
   }
-  submit(name, std::move(payload), std::move(callback));
+  submit(name, std::move(payload), std::move(callback), ctx);
 }
 
 void Gateway::shed(const std::string& name, InvokeCallback& callback,
                    const char* reason) {
-  metrics_.counter("gateway_shed_total{fn=" + name + "}").increment();
+  metrics_.counter("gateway_shed_total", {{"fn", name}}).increment();
   if (callback) {
     callback(make_error("gateway: '" + name + "' overloaded (" +
                         std::string(reason) + ")"));
@@ -130,7 +181,7 @@ void Gateway::shed(const std::string& name, InvokeCallback& callback,
 
 void Gateway::submit(const std::string& name,
                      std::vector<std::uint8_t> payload,
-                     InvokeCallback callback) {
+                     InvokeCallback callback, trace::SpanContext ctx) {
   FnLoad& load = load_[name];
   if (load.inflight < config_.max_inflight_per_function) {
     ++load.inflight;
@@ -140,7 +191,7 @@ void Gateway::submit(const std::string& name,
       if (callback) callback(std::move(result));
     };
     dispatch(name, std::move(payload), std::move(done),
-             config_.failover_attempts);
+             config_.failover_attempts, ctx);
     return;
   }
   if (load.queue.size() >= config_.max_queue_depth) {
@@ -152,9 +203,14 @@ void Gateway::submit(const std::string& name,
   queued.payload = std::move(payload);
   queued.callback = std::move(callback);
   queued.enqueued_at = sim_.now();
+  queued.ctx = ctx;
+  if (tracer_ != nullptr && ctx.valid()) {
+    queued.queue_span = tracer_->start_span(ctx.trace, ctx.parent,
+                                            "gateway.queue", sim_.now());
+  }
   const std::uint64_t qid = queued.id;
   load.queue.push_back(std::move(queued));
-  metrics_.sampler("gateway_queue_depth{fn=" + name + "}")
+  metrics_.sampler("gateway_queue_depth", {{"fn", name}})
       .add(static_cast<double>(load.queue.size()));
   // Deadline-based shedding: a queued request that cannot start in time
   // fails fast instead of waiting for capacity that may never free up.
@@ -172,6 +228,10 @@ void Gateway::expire_queued(const std::string& name, std::uint64_t queued_id) {
                                 });
   if (pos == queue.end()) return;  // already dispatched or shed
   InvokeCallback callback = std::move(pos->callback);
+  if (pos->queue_span != trace::kInvalidSpan) {
+    tracer_->annotate(pos->queue_span, "shed", "deadline exceeded");
+    tracer_->end_span(pos->queue_span, sim_.now());
+  }
   queue.erase(pos);
   shed(name, callback, "deadline exceeded");
 }
@@ -184,8 +244,15 @@ void Gateway::on_complete(const std::string& name) {
     Queued next = std::move(load.queue.front());
     load.queue.pop_front();
     if (sim_.now() - next.enqueued_at > config_.queue_deadline) {
+      if (next.queue_span != trace::kInvalidSpan) {
+        tracer_->annotate(next.queue_span, "shed", "deadline exceeded");
+        tracer_->end_span(next.queue_span, sim_.now());
+      }
       shed(name, next.callback, "deadline exceeded");
       continue;
+    }
+    if (next.queue_span != trace::kInvalidSpan) {
+      tracer_->end_span(next.queue_span, sim_.now());
     }
     ++load.inflight;
     InvokeCallback done = [this, name, callback = std::move(next.callback)](
@@ -194,7 +261,7 @@ void Gateway::on_complete(const std::string& name) {
       if (callback) callback(std::move(result));
     };
     dispatch(name, std::move(next.payload), std::move(done),
-             config_.failover_attempts);
+             config_.failover_attempts, next.ctx);
   }
 }
 
@@ -271,25 +338,35 @@ NodeId Gateway::pick_worker(const std::string& name, const Route& route) {
 
 void Gateway::dispatch(const std::string& name,
                        std::vector<std::uint8_t> payload,
-                       InvokeCallback callback,
-                       std::uint32_t attempts_left) {
+                       InvokeCallback callback, std::uint32_t attempts_left,
+                       trace::SpanContext ctx) {
   const SimTime started = sim_.now();
+  trace::SpanId proxy_span = trace::kInvalidSpan;
+  if (tracer_ != nullptr && ctx.valid()) {
+    proxy_span = tracer_->start_span(ctx.trace, ctx.parent, "gateway.proxy",
+                                     sim_.now());
+  }
   // Proxy/NAT lookup happens before the request leaves the gateway; the
   // route is re-resolved *after* the lookup so an etcd update landing
   // during proxy_overhead is honored instead of sending to a stale copy.
   sim_.schedule(config_.proxy_overhead,
-                [this, name, started, attempts_left,
+                [this, name, started, attempts_left, ctx, proxy_span,
                  payload = std::move(payload),
                  callback = std::move(callback)]() mutable {
+                  if (proxy_span != trace::kInvalidSpan) {
+                    tracer_->end_span(proxy_span, sim_.now());
+                  }
                   send_to_worker(name, std::move(payload),
-                                 std::move(callback), attempts_left, started);
+                                 std::move(callback), attempts_left, started,
+                                 ctx);
                 });
 }
 
 void Gateway::send_to_worker(const std::string& name,
                              std::vector<std::uint8_t> payload,
                              InvokeCallback callback,
-                             std::uint32_t attempts_left, SimTime started) {
+                             std::uint32_t attempts_left, SimTime started,
+                             trace::SpanContext ctx) {
   const auto it = routes_.find(name);
   if (it == routes_.end() || it->second.workers.empty()) {
     // The route vanished while the request was in the proxy stage.
@@ -303,36 +380,50 @@ void Gateway::send_to_worker(const std::string& name,
   const NodeId worker = pick_worker(name, route);
   metrics_.sampler("rpc_rto_ns").add(
       static_cast<double>(rpc_.current_rto(worker)));
+  std::uint8_t kind = kUnknownBackendKind;
+  for (const auto& replica : route.replicas) {
+    if (replica.node == worker) {
+      kind = replica.backend_kind;
+      break;
+    }
+  }
 
   // Keep a copy in case the call fails and we fail over to a replica.
   std::vector<std::uint8_t> retry_copy = payload;
   rpc_.call(worker, route.workload, std::move(payload),
-            [this, name, worker, started, attempts_left,
+            [this, name, worker, kind, started, attempts_left, ctx,
              retry_copy = std::move(retry_copy),
              callback = std::move(callback)](
                 Result<proto::RpcResponse> result) mutable {
               if (result.ok()) {
+                const auto elapsed =
+                    static_cast<double>(sim_.now() - started);
+                metrics_.sampler("gateway_latency_ns", {{"fn", name}})
+                    .add(elapsed);
                 metrics_
-                    .sampler("gateway_latency_ns{fn=" + name + "}")
-                    .add(static_cast<double>(sim_.now() - started));
+                    .histogram("rpc_latency_ns",
+                               {{"fn", name},
+                                {"backend", backend_kind_label(kind)}})
+                    .observe(static_cast<double>(result.value().latency));
                 if (callback) callback(std::move(result));
                 return;
               }
-              metrics_.counter("gateway_failures_total{fn=" + name + "}")
+              metrics_.counter("gateway_failures_total", {{"fn", name}})
                   .increment();
               // The worker looks dead: sideline it for the cooldown and
               // fail over to the next replica (a health probe or the
               // cooldown lapse brings it back).
               if (attempts_left > 0) {
                 quarantine_worker(worker);
-                metrics_.counter("gateway_failovers_total{fn=" + name + "}")
+                metrics_.counter("gateway_failovers_total", {{"fn", name}})
                     .increment();
                 dispatch(name, std::move(retry_copy), std::move(callback),
-                         attempts_left - 1);
+                         attempts_left - 1, ctx);
                 return;
               }
               if (callback) callback(std::move(result));
-            });
+            },
+            ctx);
 }
 
 std::string Gateway::encode_route(WorkloadId workload,

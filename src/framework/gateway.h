@@ -25,6 +25,7 @@
 
 #include "common/result.h"
 #include "common/stats.h"
+#include "common/trace.h"
 #include "common/types.h"
 #include "framework/metrics.h"
 #include "kvstore/etcd.h"
@@ -153,9 +154,18 @@ class Gateway {
 
   MetricsRegistry& metrics() { return metrics_; }
   const Sampler& latency(const std::string& name) {
-    return metrics_.sampler("gateway_latency_ns{fn=" + name + "}");
+    return metrics_.sampler("gateway_latency_ns", {{"fn", name}});
   }
   proto::RpcClient& rpc() { return rpc_; }
+
+  /// Attaches (nullptr detaches) a span recorder; trace ids are
+  /// allocated here and ride the lambda header end to end. `sample_rate`
+  /// in [0, 1] selects which fraction of requests get a trace
+  /// (deterministic counter-based sampling, no RNG). Recording is
+  /// bookkeeping outside simulated time: timing is identical with
+  /// tracing on or off.
+  void set_tracer(trace::TraceRecorder* tracer, double sample_rate = 1.0);
+  trace::TraceRecorder* tracer() { return tracer_; }
 
  private:
   struct Bucket {
@@ -169,6 +179,8 @@ class Gateway {
     std::vector<std::uint8_t> payload;
     InvokeCallback callback;
     SimTime enqueued_at = 0;
+    trace::SpanContext ctx;
+    trace::SpanId queue_span = trace::kInvalidSpan;
   };
 
   /// Per-function limiter state (only populated when the limiter is on).
@@ -179,18 +191,21 @@ class Gateway {
 
   void apply_route_key(const std::string& key, const std::string& value);
   bool admit(const std::string& name);  // token-bucket check
+  /// Deterministic sampling decision for one request (no RNG draw).
+  bool sample_trace();
   void dispatch(const std::string& name, std::vector<std::uint8_t> payload,
-                InvokeCallback callback, std::uint32_t attempts_left);
+                InvokeCallback callback, std::uint32_t attempts_left,
+                trace::SpanContext ctx);
   /// Route resolution + replica pick + rpc send; runs after the proxy
   /// delay so route updates landing mid-flight take effect.
   void send_to_worker(const std::string& name,
                       std::vector<std::uint8_t> payload,
                       InvokeCallback callback, std::uint32_t attempts_left,
-                      SimTime started);
+                      SimTime started, trace::SpanContext ctx);
   NodeId pick_worker(const std::string& name, const Route& route);
   /// Limiter entry: dispatch now or queue/shed.
   void submit(const std::string& name, std::vector<std::uint8_t> payload,
-              InvokeCallback callback);
+              InvokeCallback callback, trace::SpanContext ctx);
   void on_complete(const std::string& name);
   void shed(const std::string& name, InvokeCallback& callback,
             const char* reason);
@@ -199,6 +214,9 @@ class Gateway {
   sim::Simulator& sim_;
   GatewayConfig config_;
   proto::RpcClient rpc_;
+  trace::TraceRecorder* tracer_ = nullptr;
+  double sample_rate_ = 1.0;
+  double sample_accum_ = 0.0;
   std::map<std::string, Route> routes_;
   std::map<std::string, std::size_t> rr_cursor_;
   std::map<std::string, Bucket> buckets_;

@@ -1,25 +1,61 @@
 #include "framework/monitor.h"
 
+#include <string>
+
+#include "microc/ir.h"
+
 namespace lnic::framework {
 
 void Monitor::scrape() {
   ++scrapes_;
+  const SimTime now = sim_.now();
   for (const auto& [name, backend] : backends_) {
-    metrics_.gauge("backend_completed{node=" + name + "}") =
+    metrics_.gauge("backend_completed", {{"node", name}}) =
         static_cast<double>(backend->completed());
-    const auto usage = backend->usage(sim_.now());
-    metrics_.gauge("backend_host_cpu_pct{node=" + name + "}") =
+    const auto usage = backend->usage(now);
+    metrics_.gauge("backend_host_cpu_pct", {{"node", name}}) =
         usage.host_cpu_percent;
-    metrics_.gauge("backend_host_mem_mib{node=" + name + "}") =
+    metrics_.gauge("backend_host_mem_mib", {{"node", name}}) =
         to_mib(usage.host_memory);
-    metrics_.gauge("backend_nic_mem_mib{node=" + name + "}") =
+    metrics_.gauge("backend_nic_mem_mib", {{"node", name}}) =
         to_mib(usage.nic_memory);
+
+    // NPU-grid view for NIC-resident workers: occupancy of the thread
+    // grid, the dispatch queue, the instruction store and every level of
+    // the memory hierarchy, attributable per lambda when the profiler
+    // is enabled.
+    auto* nic_backend = dynamic_cast<backends::LambdaNicBackend*>(backend);
+    if (nic_backend == nullptr) continue;
+    const auto& nic = nic_backend->nic();
+    metrics_.gauge("nic_busy_threads", {{"node", name}}) =
+        static_cast<double>(nic.busy_threads());
+    metrics_.gauge("nic_queue_depth", {{"node", name}}) =
+        static_cast<double>(nic.queue_depth());
+    metrics_.gauge("nic_instr_store_words", {{"node", name}}) =
+        static_cast<double>(nic.instr_words_used());
+    for (const auto region :
+         {microc::MemRegion::kLocal, microc::MemRegion::kCtm,
+          microc::MemRegion::kImem, microc::MemRegion::kEmem}) {
+      metrics_.gauge("nic_mem_bytes",
+                     {{"node", name}, {"region", microc::to_string(region)}}) =
+          static_cast<double>(nic.region_bytes_used(region));
+    }
+    const auto* profiler = nic.profiler();
+    if (profiler == nullptr) continue;
+    metrics_.gauge("nic_grid_utilization", {{"node", name}}) =
+        profiler->grid_utilization(now);
+    metrics_.gauge("nic_queue_peak_depth", {{"node", name}}) =
+        static_cast<double>(profiler->peak_queue_depth());
+    for (const auto& [workload, busy] : profiler->lambda_busy()) {
+      const std::string wid = std::to_string(workload);
+      metrics_.gauge("nic_lambda_busy_ns", {{"node", name}, {"lambda", wid}}) =
+          static_cast<double>(busy);
+      metrics_.gauge("nic_lambda_dispatches",
+                     {{"node", name}, {"lambda", wid}}) =
+          static_cast<double>(profiler->lambda_dispatches(workload));
+    }
   }
-  if (gateway_ != nullptr) {
-    // Mirror the gateway's counters into the monitor's registry so one
-    // scrape endpoint exposes the whole system.
-    metrics_.gauge("monitor_scrapes") = static_cast<double>(scrapes_);
-  }
+  metrics_.gauge("monitor_scrapes") = static_cast<double>(scrapes_);
 }
 
 }  // namespace lnic::framework

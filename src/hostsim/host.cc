@@ -25,6 +25,12 @@ struct HostServer::Job {
   SimDuration rx_cost = 0;     // kernel ingress work to charge
   Outcome outcome;             // filled by the GIL stage
   std::uint8_t next_tag = 0;   // queued-stage continuation (Next)
+  // Tracing bookkeeping (inert without an attached recorder).
+  trace::SpanContext ctx;
+  trace::SpanId queue_span = trace::kInvalidSpan;
+  trace::SpanId stage_span = trace::kInvalidSpan;  // current kernel/runtime
+  trace::SpanId exec_span = trace::kInvalidSpan;   // host.execute (GIL)
+  trace::SpanId kv_span = trace::kInvalidSpan;
 };
 
 HostServer::~HostServer() = default;
@@ -94,6 +100,10 @@ void HostServer::handle_request(const Packet& packet,
   auto job = std::make_unique<Job>();
   job->lambda = packet.lambda;
   job->reply_to = packet.src;
+  if (tracer_ != nullptr && packet.lambda.trace_id != trace::kInvalidTrace) {
+    job->ctx.trace = packet.lambda.trace_id;
+    job->ctx.parent = packet.lambda.parent_span;
+  }
   const std::uint32_t frags =
       std::max<std::uint32_t>(packet.lambda.frag_count, 1);
   job->rx_cost = config_.rx_per_packet * frags;
@@ -110,6 +120,10 @@ void HostServer::admit(std::unique_ptr<Job> job) {
     return;
   }
   job->enqueued = sim_.now();
+  if (tracer_ != nullptr && job->ctx.valid()) {
+    job->queue_span = tracer_->start_span(job->ctx.trace, job->ctx.parent,
+                                          "host.queue", sim_.now());
+  }
   admission_.push_back(std::move(job));
   try_admit();
 }
@@ -121,13 +135,29 @@ void HostServer::try_admit() {
     ++active_jobs_;
     stats_.peak_active_jobs = std::max(stats_.peak_active_jobs, active_jobs_);
     stats_.queue_wait_ns.add(static_cast<double>(sim_.now() - job->enqueued));
+    if (job->queue_span != trace::kInvalidSpan) {
+      tracer_->end_span(job->queue_span, sim_.now());
+      job->queue_span = trace::kInvalidSpan;
+    }
     const SimDuration rx = jittered(job->rx_cost);
     enter_stage(kernel_, std::move(job), rx, Next::kRuntime);
   }
 }
 
+const char* HostServer::stage_span_name(const Stage& stage) const {
+  if (&stage == &kernel_) return "host.kernel";
+  if (&stage == &runtime_) return "host.runtime";
+  return "host.execute";
+}
+
 void HostServer::enter_stage(Stage& stage, std::unique_ptr<Job> job,
                              SimDuration service, Next next) {
+  if (tracer_ != nullptr && job->ctx.valid() &&
+      job->stage_span == trace::kInvalidSpan) {
+    // Covers both the stage's queue wait and its service time.
+    job->stage_span = tracer_->start_span(job->ctx.trace, job->ctx.parent,
+                                          stage_span_name(stage), sim_.now());
+  }
   if (stage.busy < stage.capacity) {
     ++stage.busy;
     ++busy_units_;
@@ -146,6 +176,10 @@ void HostServer::enter_stage(Stage& stage, std::unique_ptr<Job> job,
 
 void HostServer::stage_done(Stage& stage, std::unique_ptr<Job> job,
                             Next next) {
+  if (job->stage_span != trace::kInvalidSpan) {
+    tracer_->end_span(job->stage_span, sim_.now());
+    job->stage_span = trace::kInvalidSpan;
+  }
   // Free the unit (or hand it straight to the next queued item).
   if (!stage.queue.empty()) {
     auto [queued, service] = std::move(stage.queue.front());
@@ -179,6 +213,13 @@ void HostServer::stage_done(Stage& stage, std::unique_ptr<Job> job,
 }
 
 void HostServer::run_gil(std::unique_ptr<Job> job) {
+  if (tracer_ != nullptr && job->ctx.valid() &&
+      job->exec_span == trace::kInvalidSpan) {
+    // Covers GIL queue wait + context switch + interpreted execution;
+    // a KV resume opens a fresh host.execute span.
+    job->exec_span = tracer_->start_span(job->ctx.trace, job->ctx.parent,
+                                         "host.execute", sim_.now());
+  }
   // The GIL stage computes its own service time at grant (context switch
   // + interpreted execution), so acquire manually.
   if (gil_.busy < gil_.capacity) {
@@ -214,6 +255,10 @@ void HostServer::run_gil(std::unique_ptr<Job> job) {
     Job* raw = job.release();
     sim_.schedule(service, [this, raw]() {
       auto owned = std::unique_ptr<Job>(raw);
+      if (owned->exec_span != trace::kInvalidSpan) {
+        tracer_->end_span(owned->exec_span, sim_.now());
+        owned->exec_span = trace::kInvalidSpan;
+      }
       // Release the GIL (or pass it to the next queued lambda).
       if (!gil_.queue.empty()) {
         auto [queued, unused] = std::move(gil_.queue.front());
@@ -231,6 +276,10 @@ void HostServer::run_gil(std::unique_ptr<Job> job) {
         // Blocked on the KV store: keep the service thread, release CPU.
         const microc::ExtRequest ext = owned->outcome.ext;
         const RequestId token = next_token_++;
+        if (tracer_ != nullptr && owned->ctx.valid()) {
+          owned->kv_span = tracer_->start_span(
+              owned->ctx.trace, owned->ctx.parent, "host.kv_wait", sim_.now());
+        }
         waiting_kv_.emplace(token, std::move(owned));
         Packet kv;
         kv.src = node_;
@@ -266,6 +315,10 @@ void HostServer::handle_kv_response(const Packet& packet) {
   if (it == waiting_kv_.end()) return;
   auto job = std::move(it->second);
   waiting_kv_.erase(it);
+  if (job->kv_span != trace::kInvalidSpan) {
+    tracer_->end_span(job->kv_span, sim_.now());
+    job->kv_span = trace::kInvalidSpan;
+  }
   std::uint64_t reply = 0;
   for (std::size_t i = 0; i < 8 && i < packet.payload.size(); ++i) {
     reply |= static_cast<std::uint64_t>(packet.payload[i]) << (8 * i);

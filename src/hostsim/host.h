@@ -36,6 +36,7 @@
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "common/trace.h"
 #include "common/types.h"
 #include "microc/interp.h"
 #include "net/network.h"
@@ -103,6 +104,12 @@ class HostServer {
   std::uint32_t busy_cores() const { return busy_units_; }
   const HostConfig& config() const { return config_; }
 
+  /// Attaches (nullptr detaches) the span recorder. Requests whose
+  /// lambda header carries a trace id get host.queue / host.kernel /
+  /// host.runtime / host.execute / host.kv_wait spans. Recording never
+  /// affects simulated timing.
+  void set_tracer(trace::TraceRecorder* tracer) { tracer_ = tracer; }
+
  private:
   struct Job;
   /// A queued single-stage resource (capacity units, FIFO).
@@ -118,6 +125,7 @@ class HostServer {
   void handle_kv_response(const net::Packet& packet);
   void admit(std::unique_ptr<Job> job);
   void try_admit();
+  const char* stage_span_name(const Stage& stage) const;
 
   // Stage plumbing: occupy `stage` for `service`, then continue.
   enum class Next : std::uint8_t { kRuntime, kGil, kTx, kDone };
@@ -157,6 +165,8 @@ class HostServer {
 
   std::map<RequestId, std::unique_ptr<Job>> waiting_kv_;
   RequestId next_token_ = 1;
+
+  trace::TraceRecorder* tracer_ = nullptr;
 
   HostStats stats_;
 };

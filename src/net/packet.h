@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/trace.h"
 #include "common/types.h"
 
 namespace lnic::net {
@@ -40,6 +41,11 @@ struct LambdaHeader {
   RequestId request_id = 0;
   std::uint32_t frag_index = 0;
   std::uint32_t frag_count = 1;
+  /// Distributed-tracing context (0 = untraced). Rides in the header the
+  /// way W3C traceparent rides in HTTP; the modeled header size is
+  /// unchanged so wire timing is identical with tracing on or off.
+  trace::TraceId trace_id = trace::kInvalidTrace;
+  trace::SpanId parent_span = trace::kInvalidSpan;
 };
 
 struct Packet {

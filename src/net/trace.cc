@@ -4,11 +4,22 @@
 
 namespace lnic::net {
 
+void PacketTracer::set_capacity(std::size_t max_records) {
+  capacity_ = max_records;
+  while (records_.size() > capacity_) {
+    records_.pop_front();
+    ++evicted_;
+  }
+}
+
 void PacketTracer::record(const Packet& packet, SimTime now, bool dropped) {
-  if (records_.size() >= capacity_) {
-    records_.erase(records_.begin(),
-                   records_.begin() + static_cast<std::ptrdiff_t>(
-                                          capacity_ / 4 + 1));
+  if (capacity_ == 0) {
+    ++evicted_;
+    return;
+  }
+  while (records_.size() >= capacity_) {
+    records_.pop_front();
+    ++evicted_;
   }
   Record r;
   r.time = now;
@@ -38,6 +49,10 @@ std::map<PacketKind, PacketTracer::KindSummary> PacketTracer::summarize()
 
 std::string PacketTracer::dump(std::size_t max_lines) const {
   std::ostringstream out;
+  if (evicted_ > 0) {
+    out << "[" << evicted_ << " earlier record(s) evicted by ring buffer"
+        << " (capacity " << capacity_ << ")]\n";
+  }
   const std::size_t start =
       records_.size() > max_lines ? records_.size() - max_lines : 0;
   for (std::size_t i = start; i < records_.size(); ++i) {

@@ -2,12 +2,16 @@
 // a Network to record every send (including drops) with timestamps;
 // dump as a text table or query per-kind summaries. Used by tests,
 // debugging sessions, and the examples' narration.
+//
+// Memory is bounded by a ring buffer: once `capacity` records are held,
+// each new record evicts the oldest one (O(1), no reallocation storms
+// over long simulations) and the eviction count is reported by dump().
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <string>
-#include <vector>
 
 #include "common/types.h"
 #include "net/packet.h"
@@ -32,14 +36,22 @@ class PacketTracer {
   /// Called by the Network on every send.
   void record(const Packet& packet, SimTime now, bool dropped);
 
-  const std::vector<Record>& records() const { return records_; }
+  /// Retained records, oldest first (at most capacity of them).
+  const std::deque<Record>& records() const { return records_; }
   std::size_t size() const { return records_.size(); }
-  void clear() { records_.clear(); }
+  /// Records evicted from the ring so far (0 until the ring wraps).
+  std::uint64_t evicted() const { return evicted_; }
+  void clear() {
+    records_.clear();
+    evicted_ = 0;
+  }
 
-  /// Caps memory for long runs; older records are discarded FIFO.
-  void set_capacity(std::size_t max_records) { capacity_ = max_records; }
+  /// Caps memory for long runs; older records are evicted FIFO. Shrinks
+  /// the ring immediately if it already holds more than `max_records`.
+  void set_capacity(std::size_t max_records);
+  std::size_t capacity() const { return capacity_; }
 
-  /// Per-kind packet and byte totals.
+  /// Per-kind packet and byte totals (over the retained records).
   struct KindSummary {
     std::uint64_t packets = 0;
     Bytes bytes = 0;
@@ -47,12 +59,14 @@ class PacketTracer {
   };
   std::map<PacketKind, KindSummary> summarize() const;
 
-  /// tcpdump-style text listing of up to `max_lines` records.
+  /// tcpdump-style text listing of up to `max_lines` records; reports
+  /// how many earlier records were evicted by the ring.
   std::string dump(std::size_t max_lines = 50) const;
 
  private:
-  std::vector<Record> records_;
+  std::deque<Record> records_;
   std::size_t capacity_ = 1 << 20;
+  std::uint64_t evicted_ = 0;
 };
 
 }  // namespace lnic::net

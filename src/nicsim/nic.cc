@@ -25,6 +25,13 @@ struct SmartNic::Flight {
   SimTime dispatched = 0;
   std::uint64_t cycles_reported = 0;  // cycles accounted so far
   Bytes staged_bytes = 0;             // EMEM staging held until completion
+  // Tracing/profiling bookkeeping (inert unless a tracer/profiler is on).
+  trace::SpanContext ctx;
+  trace::SpanId parse_span = trace::kInvalidSpan;
+  trace::SpanId queue_span = trace::kInvalidSpan;
+  trace::SpanId exec_span = trace::kInvalidSpan;
+  trace::SpanId kv_span = trace::kInvalidSpan;
+  std::int32_t thread_slot = -1;
 };
 
 SmartNic::~SmartNic() = default;
@@ -37,10 +44,17 @@ SmartNic::SmartNic(sim::Simulator& sim, net::Network& network,
 
 bool SmartNic::down() const { return sim_.now() < down_until_; }
 
+void SmartNic::enable_profiler(std::size_t max_samples) {
+  profiler_ = std::make_unique<NpuProfiler>(
+      config_.lambda_threads(), config_.threads_per_core, max_samples);
+  slot_busy_.assign(config_.lambda_threads(), false);
+}
+
 Status SmartNic::deploy(compiler::CompileOutput firmware) {
   if (firmware.final_words() > config_.instr_store_words) {
     return make_error("deploy: firmware exceeds instruction store");
   }
+  instr_words_used_ = firmware.final_words();
   program_ = std::move(firmware.program);
   globals_.reset(*program_);
   // Static parse+match cycle estimate for the pipelined mode (§5
@@ -80,6 +94,13 @@ Bytes SmartNic::memory_in_use() const {
   return firmware_bytes_ + globals_.total_bytes() + inflight_bytes_;
 }
 
+Bytes SmartNic::region_bytes_used(microc::MemRegion region) const {
+  Bytes bytes = 0;
+  if (program_) bytes += microc::region_bytes(*program_, region);
+  if (region == microc::MemRegion::kEmem) bytes += inflight_bytes_;
+  return bytes;
+}
+
 void SmartNic::handle_packet(const Packet& packet) {
   switch (packet.kind) {
     case PacketKind::kRequest:
@@ -110,6 +131,10 @@ void SmartNic::handle_request(const Packet& packet,
   flight->lambda = packet.lambda;
   flight->reply_to = packet.src;
   flight->arrived = sim_.now();
+  if (tracer_ != nullptr && packet.lambda.trace_id != trace::kInvalidTrace) {
+    flight->ctx.trace = packet.lambda.trace_id;
+    flight->ctx.parent = packet.lambda.parent_span;
+  }
   // Multi-packet bodies were already staged into EMEM fragment by
   // fragment (handle_rdma_fragment); the flight now owns those bytes and
   // releases them at completion.
@@ -136,10 +161,17 @@ void SmartNic::enter_parse_stage(std::unique_ptr<Flight> flight) {
     return;
   }
   ++busy_parse_threads_;
+  if (tracer_ != nullptr && flight->ctx.valid()) {
+    flight->parse_span = tracer_->start_span(
+        flight->ctx.trace, flight->ctx.parent, "nic.parse", sim_.now());
+  }
   const SimDuration service =
       microc::CostModel::npu().cycles_to_duration(parse_match_cycles_);
   Flight* raw = flight.release();
   sim_.schedule(service, [this, raw]() {
+    if (raw->parse_span != trace::kInvalidSpan) {
+      tracer_->end_span(raw->parse_span, sim_.now());
+    }
     enqueue(std::unique_ptr<Flight>(raw));
     release_parse_thread();
   });
@@ -164,6 +196,14 @@ void SmartNic::handle_rdma_fragment(const Packet& packet) {
   if (re.frags.empty()) {
     re.frags.resize(packet.lambda.frag_count);
     re.first = packet;
+    if (tracer_ != nullptr &&
+        packet.lambda.trace_id != trace::kInvalidTrace) {
+      re.span = tracer_->start_span(packet.lambda.trace_id,
+                                    packet.lambda.parent_span,
+                                    "nic.reassemble", sim_.now());
+      tracer_->annotate(re.span, "fragments",
+                        std::to_string(packet.lambda.frag_count));
+    }
   }
   if (packet.lambda.frag_index >= re.frags.size()) return;  // corrupt
   if (re.frags[packet.lambda.frag_index].empty()) {
@@ -181,6 +221,9 @@ void SmartNic::handle_rdma_fragment(const Packet& packet) {
   std::vector<std::uint8_t> body;
   for (auto& f : re.frags) body.insert(body.end(), f.begin(), f.end());
   Packet trigger = re.first;
+  if (re.span != trace::kInvalidSpan) {
+    tracer_->end_span(re.span, sim_.now());
+  }
   reassembly_.erase(key);
   handle_request(trigger, std::move(body));
 }
@@ -191,12 +234,17 @@ void SmartNic::enqueue(std::unique_ptr<Flight> flight) {
     inflight_bytes_ -= flight->staged_bytes;
     return;
   }
+  if (tracer_ != nullptr && flight->ctx.valid()) {
+    flight->queue_span = tracer_->start_span(
+        flight->ctx.trace, flight->ctx.parent, "nic.queue", sim_.now());
+  }
   if (config_.dispatch == DispatchPolicy::kWfq) {
     wfq_queues_[flight->lambda.workload_id].push_back(std::move(flight));
   } else {
     fifo_.push_back(std::move(flight));
   }
   ++queued_;
+  if (profiler_) profiler_->on_queue_depth(sim_.now(), queued_);
   try_dispatch();
 }
 
@@ -243,11 +291,38 @@ void SmartNic::try_dispatch() {
     flight->dispatched = sim_.now();
     stats_.queue_wait_ns.add(
         static_cast<double>(flight->dispatched - flight->arrived));
+    if (flight->queue_span != trace::kInvalidSpan) {
+      tracer_->end_span(flight->queue_span, sim_.now());
+      flight->queue_span = trace::kInvalidSpan;
+    }
+    if (profiler_) {
+      // Attribution only: pick the lowest free thread slot. The real
+      // scheduler is anonymous (a busy counter), so this adds naming
+      // without touching dispatch order or timing.
+      for (std::size_t s = 0; s < slot_busy_.size(); ++s) {
+        if (!slot_busy_[s]) {
+          slot_busy_[s] = true;
+          flight->thread_slot = static_cast<std::int32_t>(s);
+          break;
+        }
+      }
+      if (flight->thread_slot >= 0) {
+        profiler_->on_dispatch(static_cast<std::uint32_t>(flight->thread_slot),
+                               flight->lambda.workload_id, sim_.now());
+      }
+      profiler_->on_queue_depth(sim_.now(), queued_);
+    }
     start_execution(std::move(flight));
   }
 }
 
 void SmartNic::start_execution(std::unique_ptr<Flight> flight) {
+  if (tracer_ != nullptr && flight->ctx.valid()) {
+    flight->exec_span = tracer_->start_span(
+        flight->ctx.trace, flight->ctx.parent, "nic.execute", sim_.now());
+    tracer_->annotate(flight->exec_span, "workload",
+                      std::to_string(flight->lambda.workload_id));
+  }
   flight->machine = std::make_unique<microc::Machine>(
       *program_, microc::CostModel::npu(), &globals_);
   Outcome outcome = flight->machine->run(flight->invocation);
@@ -283,7 +358,10 @@ void SmartNic::continue_flight(std::unique_ptr<Flight> flight,
     Flight* raw = flight.get();
     waiting_kv_.emplace(token, std::move(flight));
     sim_.schedule(service, [this, token, ext, raw]() {
-      (void)raw;
+      if (tracer_ != nullptr && raw->ctx.valid()) {
+        raw->kv_span = tracer_->start_span(raw->ctx.trace, raw->exec_span,
+                                           "nic.kv_wait", sim_.now());
+      }
       Packet kv;
       kv.src = node_;
       kv.dst = kv_server_;
@@ -313,6 +391,10 @@ void SmartNic::handle_kv_response(const Packet& packet) {
   if (it == waiting_kv_.end()) return;  // late duplicate
   auto flight = std::move(it->second);
   waiting_kv_.erase(it);
+  if (flight->kv_span != trace::kInvalidSpan) {
+    tracer_->end_span(flight->kv_span, sim_.now());
+    flight->kv_span = trace::kInvalidSpan;
+  }
   std::uint64_t reply = 0;
   for (std::size_t i = 0; i < 8 && i < packet.payload.size(); ++i) {
     reply |= static_cast<std::uint64_t>(packet.payload[i]) << (8 * i);
@@ -325,6 +407,16 @@ void SmartNic::finish_flight(std::unique_ptr<Flight> flight,
                              const Outcome& outcome) {
   inflight_bytes_ -= flight->staged_bytes;
   stats_.service_cycles.add(static_cast<double>(outcome.cycles));
+  if (flight->exec_span != trace::kInvalidSpan) {
+    tracer_->annotate(flight->exec_span, "cycles",
+                      std::to_string(outcome.cycles));
+    tracer_->end_span(flight->exec_span, sim_.now());
+  }
+  if (profiler_ && flight->thread_slot >= 0) {
+    profiler_->on_release(static_cast<std::uint32_t>(flight->thread_slot),
+                          sim_.now());
+    slot_busy_[static_cast<std::size_t>(flight->thread_slot)] = false;
+  }
 
   if (outcome.state == RunState::kTrap) {
     ++stats_.traps;

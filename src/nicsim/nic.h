@@ -32,11 +32,13 @@
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "common/trace.h"
 #include "common/types.h"
 #include "compiler/pipeline.h"
 #include "microc/interp.h"
 #include "net/network.h"
 #include "net/packet.h"
+#include "nicsim/profiler.h"
 #include "sim/simulator.h"
 
 namespace lnic::nicsim {
@@ -125,6 +127,27 @@ class SmartNic {
   Bytes memory_in_use() const;
   Bytes firmware_bytes() const { return firmware_bytes_; }
   std::uint32_t busy_threads() const { return busy_threads_; }
+  std::size_t queue_depth() const { return queued_; }
+  /// Instruction-store words consumed by the deployed firmware (per
+  /// core; every core runs the same image).
+  std::uint64_t instr_words_used() const { return instr_words_used_; }
+  /// Lambda state resident in one region of the memory hierarchy
+  /// (Fig. 4): declared objects placed there by stratification, plus —
+  /// for EMEM — staged RDMA bodies in flight.
+  Bytes region_bytes_used(microc::MemRegion region) const;
+
+  /// Attaches (nullptr detaches) the span recorder. Packets whose lambda
+  /// header carries a trace id get nic.reassemble / nic.parse /
+  /// nic.queue / nic.execute / nic.kv_wait spans. Recording is pure
+  /// bookkeeping: timing, dispatch order and RNG draws are unchanged.
+  void set_tracer(trace::TraceRecorder* tracer) { tracer_ = tracer; }
+
+  /// Turns on the NPU-grid profiler (per-thread busy timelines, queue
+  /// depth samples, per-lambda attribution). Off by default; enabling it
+  /// assigns deterministic lowest-free thread slots for attribution but
+  /// never alters simulated timing.
+  void enable_profiler(std::size_t max_samples = 4096);
+  const NpuProfiler* profiler() const { return profiler_.get(); }
 
  private:
   struct Flight;  // one in-flight request occupying a thread
@@ -156,6 +179,7 @@ class SmartNic {
   std::optional<microc::Program> program_;
   microc::ObjectStore globals_;
   Bytes firmware_bytes_ = 0;
+  std::uint64_t instr_words_used_ = 0;
   SimTime down_until_ = 0;
 
   std::uint32_t busy_threads_ = 0;
@@ -175,6 +199,7 @@ class SmartNic {
     std::vector<std::vector<std::uint8_t>> frags;
     std::uint32_t received = 0;
     net::Packet first;  // header template
+    trace::SpanId span = trace::kInvalidSpan;  // nic.reassemble
   };
   std::map<std::pair<NodeId, RequestId>, Reassembly> reassembly_;
   Bytes inflight_bytes_ = 0;
@@ -182,6 +207,12 @@ class SmartNic {
   // Suspended flights waiting for a KV reply, keyed by ext-call token.
   std::map<RequestId, std::unique_ptr<Flight>> waiting_kv_;
   RequestId next_token_ = 1;
+
+  trace::TraceRecorder* tracer_ = nullptr;
+  std::unique_ptr<NpuProfiler> profiler_;
+  // Thread-slot occupancy for profiler attribution (lowest free slot;
+  // only maintained while the profiler is enabled).
+  std::vector<bool> slot_busy_;
 
   NicStats stats_;
 };

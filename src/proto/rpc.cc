@@ -49,7 +49,8 @@ RpcClient::RpcClient(sim::Simulator& sim, net::Network& network,
 }
 
 void RpcClient::call(NodeId dst, WorkloadId workload,
-                     std::vector<std::uint8_t> payload, RpcCallback callback) {
+                     std::vector<std::uint8_t> payload, RpcCallback callback,
+                     trace::SpanContext ctx) {
   const RequestId id = next_id_++;
   Pending pending;
   pending.dst = dst;
@@ -57,6 +58,12 @@ void RpcClient::call(NodeId dst, WorkloadId workload,
   pending.payload = std::move(payload);
   pending.callback = std::move(callback);
   pending.sent_at = sim_.now();
+  if (tracer_ != nullptr && ctx.valid()) {
+    pending.ctx = ctx;
+    pending.call_span =
+        tracer_->start_span(ctx.trace, ctx.parent, "rpc.call", sim_.now());
+    tracer_->annotate(pending.call_span, "dst", std::to_string(dst));
+  }
   pending_.emplace(id, std::move(pending));
   transmit(id);
   arm_timer(id);
@@ -79,10 +86,17 @@ const RttEstimator* RpcClient::estimator(NodeId dst) const {
 }
 
 void RpcClient::transmit(RequestId id) {
-  const Pending& p = pending_.at(id);
+  Pending& p = pending_.at(id);
   net::LambdaHeader hdr;
   hdr.workload_id = p.workload;
   hdr.request_id = id;
+  if (p.call_span != trace::kInvalidSpan) {
+    p.attempt_span = tracer_->start_span(p.ctx.trace, p.call_span,
+                                         "rpc.attempt", sim_.now());
+    tracer_->annotate(p.attempt_span, "retry", std::to_string(p.retries));
+    hdr.trace_id = p.ctx.trace;
+    hdr.parent_span = p.attempt_span;
+  }
   // Single-packet requests go through parse+match directly; larger
   // payloads are committed to NIC memory via RDMA (D3).
   const PacketKind kind = p.payload.size() > net::kMaxPayload
@@ -121,8 +135,17 @@ void RpcClient::on_timeout(RequestId id) {
   if (it == pending_.end()) return;
   Pending& p = it->second;
   p.timer = sim::kInvalidEvent;
+  if (p.attempt_span != trace::kInvalidSpan) {
+    tracer_->annotate(p.attempt_span, "timeout", "true");
+    tracer_->end_span(p.attempt_span, sim_.now());
+    p.attempt_span = trace::kInvalidSpan;
+  }
   if (p.retries >= config_.max_retries) {
     ++failures_;
+    if (p.call_span != trace::kInvalidSpan) {
+      tracer_->annotate(p.call_span, "error", "timed out after retries");
+      tracer_->end_span(p.call_span, sim_.now());
+    }
     RpcCallback cb = std::move(p.callback);
     pending_.erase(it);
     if (cb) cb(make_error("rpc: request timed out after retries"));
@@ -172,6 +195,13 @@ void RpcClient::on_packet(const Packet& packet) {
   }
   response.latency = sim_.now() - p.sent_at;
   response.retries = p.retries;
+  if (p.attempt_span != trace::kInvalidSpan) {
+    tracer_->end_span(p.attempt_span, sim_.now());
+  }
+  if (p.call_span != trace::kInvalidSpan) {
+    tracer_->annotate(p.call_span, "retries", std::to_string(p.retries));
+    tracer_->end_span(p.call_span, sim_.now());
+  }
   if (p.timer != sim::kInvalidEvent) sim_.cancel(p.timer);
   RpcCallback cb = std::move(p.callback);
   pending_.erase(it);

@@ -25,6 +25,7 @@
 
 #include "common/result.h"
 #include "common/stats.h"
+#include "common/trace.h"
 #include "common/types.h"
 #include "net/network.h"
 #include "sim/simulator.h"
@@ -79,9 +80,16 @@ class RpcClient {
 
   /// Issues one RPC. Multi-packet payloads are sent as RDMA writes; the
   /// callback fires on the complete (reassembled) response or after
-  /// max_retries timeouts.
+  /// max_retries timeouts. When a tracer is attached and `ctx` is valid,
+  /// the call records an `rpc.call` span with one `rpc.attempt` child
+  /// per transmission (timed-out attempts are annotated), and every
+  /// outgoing packet carries the attempt's span context.
   void call(NodeId dst, WorkloadId workload, std::vector<std::uint8_t> payload,
-            RpcCallback callback);
+            RpcCallback callback, trace::SpanContext ctx = {});
+
+  /// Attaches (nullptr detaches) the span recorder. Off by default;
+  /// recording never affects simulated timing.
+  void set_tracer(trace::TraceRecorder* tracer) { tracer_ = tracer; }
 
   std::uint64_t retransmissions() const { return retransmissions_; }
   std::uint64_t failures() const { return failures_; }
@@ -104,6 +112,9 @@ class RpcClient {
     SimTime sent_at;
     std::uint32_t retries = 0;
     sim::EventId timer = sim::kInvalidEvent;
+    trace::SpanContext ctx;
+    trace::SpanId call_span = trace::kInvalidSpan;
+    trace::SpanId attempt_span = trace::kInvalidSpan;
     // Response reassembly: `got` tracks receipt explicitly so duplicate
     // or zero-length fragments can never double-count.
     std::vector<std::vector<std::uint8_t>> frags;
@@ -120,6 +131,7 @@ class RpcClient {
   sim::Simulator& sim_;
   net::Network& network_;
   RpcConfig config_;
+  trace::TraceRecorder* tracer_ = nullptr;
   NodeId node_;
   RequestId next_id_ = 1;
   std::map<RequestId, Pending> pending_;

@@ -132,8 +132,9 @@ TEST(Cluster, GatewayMetricsAccumulate) {
                     .ok());
   }
   EXPECT_EQ(cluster.gateway().latency("web_server").count(), 5u);
+  // render() emits valid Prometheus exposition: label values quoted.
   const std::string rendered = cluster.gateway().metrics().render();
-  EXPECT_NE(rendered.find("gateway_requests_total{fn=web_server} 5"),
+  EXPECT_NE(rendered.find("gateway_requests_total{fn=\"web_server\"} 5"),
             std::string::npos);
 }
 

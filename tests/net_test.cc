@@ -196,6 +196,28 @@ TEST_F(NetworkTest, TracerCapacityBounded) {
   EXPECT_LE(tracer.size(), 100u);
 }
 
+TEST_F(NetworkTest, TracerEvictionCountedAndReportedInDump) {
+  Network network(sim);
+  PacketTracer tracer;
+  tracer.set_capacity(10);
+  network.set_tracer(&tracer);
+  const NodeId a = network.attach(nullptr);
+  const NodeId b = network.attach([](const Packet&) {});
+  for (int i = 0; i < 25; ++i) network.send(make_packet(a, b, 8));
+  sim.run();
+  EXPECT_EQ(tracer.size(), 10u);
+  EXPECT_EQ(tracer.evicted(), 15u);
+  EXPECT_NE(tracer.dump().find("15 earlier record(s) evicted"),
+            std::string::npos);
+
+  // Shrinking an already-full ring evicts immediately.
+  tracer.set_capacity(4);
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.evicted(), 21u);
+  tracer.clear();
+  EXPECT_EQ(tracer.evicted(), 0u);
+}
+
 TEST_F(NetworkTest, ByteAccountingMatchesWireSizes) {
   Network network(sim);
   const NodeId a = network.attach(nullptr);

@@ -1,0 +1,399 @@
+// Tests for the observability stack: TraceRecorder span trees and
+// critical-path decomposition, Chrome trace_event export, bucketed
+// histograms, labeled metrics rendering, Monitor time series, NPU-grid
+// profiling, and the end-to-end traced-retransmit integration scenario.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/trace.h"
+#include "core/cluster.h"
+#include "framework/metrics.h"
+#include "framework/monitor.h"
+#include "net/network.h"
+#include "nicsim/profiler.h"
+#include "workloads/lambdas.h"
+
+namespace lnic {
+namespace {
+
+using framework::Labels;
+using framework::MetricsRegistry;
+using trace::TraceRecorder;
+
+// ---------------------------------------------------------------------------
+// TraceRecorder
+
+TEST(Trace, SpanTreeStructureAndAnnotations) {
+  TraceRecorder recorder;
+  const auto t = recorder.new_trace();
+  EXPECT_NE(t, trace::kInvalidTrace);
+
+  const auto root = recorder.start_span(t, trace::kInvalidSpan, "request", 100);
+  const auto child = recorder.start_span(t, root, "rpc.call", 200);
+  recorder.annotate(child, "fn", "web_server");
+  recorder.end_span(child, 700);
+  recorder.end_span(root, 900);
+
+  const auto spans = recorder.trace_spans(t);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "request");
+  EXPECT_EQ(spans[0].parent, trace::kInvalidSpan);
+  EXPECT_EQ(spans[1].name, "rpc.call");
+  EXPECT_EQ(spans[1].parent, root);
+  EXPECT_EQ(spans[1].start, 200);
+  EXPECT_EQ(spans[1].end, 700);
+  EXPECT_FALSE(spans[1].open);
+  ASSERT_EQ(spans[1].annotations.size(), 1u);
+  EXPECT_EQ(spans[1].annotations[0].first, "fn");
+  EXPECT_EQ(spans[1].annotations[0].second, "web_server");
+
+  EXPECT_EQ(recorder.trace_ids(), std::vector<trace::TraceId>{t});
+}
+
+TEST(Trace, InvalidTraceAndUnknownSpanAreNoOps) {
+  TraceRecorder recorder;
+  EXPECT_EQ(recorder.start_span(trace::kInvalidTrace, 0, "x", 1),
+            trace::kInvalidSpan);
+  recorder.end_span(trace::kInvalidSpan, 5);       // must not crash
+  recorder.end_span(12345, 5);                     // unknown id
+  recorder.annotate(trace::kInvalidSpan, "k", "v");
+  EXPECT_TRUE(recorder.empty());
+}
+
+TEST(Trace, SpanCapDropsAndCounts) {
+  TraceRecorder recorder(/*max_spans=*/2);
+  const auto t = recorder.new_trace();
+  EXPECT_NE(recorder.start_span(t, 0, "a", 1), trace::kInvalidSpan);
+  EXPECT_NE(recorder.start_span(t, 0, "b", 2), trace::kInvalidSpan);
+  EXPECT_EQ(recorder.start_span(t, 0, "c", 3), trace::kInvalidSpan);
+  EXPECT_EQ(recorder.size(), 2u);
+  EXPECT_EQ(recorder.dropped(), 1u);
+}
+
+TEST(Trace, ChromeJsonHasCompleteEventsWithSpanIds) {
+  TraceRecorder recorder;
+  const auto t = recorder.new_trace();
+  const auto root = recorder.start_span(t, 0, "request", microseconds(10));
+  const auto child = recorder.start_span(t, root, "nic.execute",
+                                         microseconds(20));
+  recorder.end_span(child, microseconds(30));
+  recorder.end_span(root, microseconds(40));
+
+  const std::string json = recorder.to_chrome_json();
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"request\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"nic.execute\""), std::string::npos);
+  EXPECT_NE(json.find("\"span_id\""), std::string::npos);
+  EXPECT_NE(json.find("\"parent\""), std::string::npos);
+}
+
+TEST(Trace, SpanComponentMapping) {
+  const auto component = [](std::string name, bool timeout = false) {
+    trace::Span span;
+    span.name = std::move(name);
+    if (timeout) span.annotations.emplace_back("timeout", "true");
+    return trace::span_component(span);
+  };
+  EXPECT_EQ(component("gateway.queue"), "queue");
+  EXPECT_EQ(component("nic.queue"), "queue");
+  EXPECT_EQ(component("nic.reassemble"), "queue");
+  EXPECT_EQ(component("gateway.proxy"), "proxy");
+  EXPECT_EQ(component("rpc.call"), "transport");
+  EXPECT_EQ(component("rpc.attempt"), "transport");
+  EXPECT_EQ(component("rpc.attempt", /*timeout=*/true), "retransmit");
+  EXPECT_EQ(component("nic.execute"), "execute");
+  EXPECT_EQ(component("host.kernel"), "execute");
+  EXPECT_EQ(component("something.else"), "other");
+}
+
+TEST(Trace, CriticalPathComponentsSumExactlyToTotal) {
+  // request [0,1000] with gateway.queue [0,100], rpc.call [100,900]
+  // containing nic.execute [300,600]. The deepest-span sweep should
+  // yield queue=100, transport=500 (rpc minus the nested execute),
+  // execute=300, other=100 (the uncovered [900,1000] tail).
+  TraceRecorder recorder;
+  const auto t = recorder.new_trace();
+  const auto root = recorder.start_span(t, 0, "request", 0);
+  const auto queue = recorder.start_span(t, root, "gateway.queue", 0);
+  recorder.end_span(queue, 100);
+  const auto rpc = recorder.start_span(t, root, "rpc.call", 100);
+  const auto exec = recorder.start_span(t, rpc, "nic.execute", 300);
+  recorder.end_span(exec, 600);
+  recorder.end_span(rpc, 900);
+  recorder.end_span(root, 1000);
+
+  const auto path = recorder.critical_path(t);
+  EXPECT_EQ(path.total, 1000);
+  EXPECT_EQ(path.component("queue"), 100);
+  EXPECT_EQ(path.component("transport"), 500);
+  EXPECT_EQ(path.component("execute"), 300);
+  EXPECT_EQ(path.component("other"), 100);
+
+  SimDuration sum = 0;
+  for (const auto& [name, d] : path.components) sum += d;
+  EXPECT_EQ(sum, path.total);
+
+  const std::string summary = recorder.critical_path_summary(t);
+  EXPECT_NE(summary.find("execute"), std::string::npos);
+  EXPECT_NE(summary.find("transport"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+TEST(Histogram, BucketPlacementAndCumulativeCounts) {
+  Histogram h({10.0, 100.0, 1000.0});
+  h.observe(5.0);     // <= 10
+  h.observe(10.0);    // <= 10 (inclusive upper bound)
+  h.observe(50.0);    // <= 100
+  h.observe(999.0);   // <= 1000
+  h.observe(5000.0);  // +Inf
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 6064.0);
+  ASSERT_EQ(h.buckets().size(), 4u);
+  EXPECT_EQ(h.buckets()[0], 2u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[2], 1u);
+  EXPECT_EQ(h.buckets()[3], 1u);  // +Inf
+  EXPECT_EQ(h.cumulative(0), 2u);
+  EXPECT_EQ(h.cumulative(1), 3u);
+  EXPECT_EQ(h.cumulative(2), 4u);
+}
+
+TEST(Histogram, PercentileStaysWithinBucketBounds) {
+  Histogram h({10.0, 100.0, 1000.0});
+  for (int i = 0; i < 90; ++i) h.observe(50.0);
+  for (int i = 0; i < 10; ++i) h.observe(500.0);
+  const double p50 = h.percentile(50.0);
+  EXPECT_GT(p50, 10.0);
+  EXPECT_LE(p50, 100.0);
+  const double p99 = h.percentile(99.0);
+  EXPECT_GT(p99, 100.0);
+  EXPECT_LE(p99, 1000.0);
+  EXPECT_EQ(Histogram{}.percentile(50.0), 0.0);  // empty
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry: labels, sorting, exposition validity
+
+TEST(Metrics, CounterNamePassesThrough) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.counter("requests_total").name(), "requests_total");
+  // The labeled overload stores (and names) the canonical series key.
+  Counter& labeled = registry.counter("requests_total", {{"fn", "web"}});
+  EXPECT_EQ(labeled.name(), "requests_total{fn=web}");
+}
+
+TEST(Metrics, LabeledAndBakedKeyAddressSameSeries) {
+  MetricsRegistry registry;
+  registry.counter("x_total", {{"b", "2"}, {"a", "1"}}).increment(3);
+  // Canonical key sorts label keys; the baked-string form must hit the
+  // same series.
+  EXPECT_EQ(registry.counter("x_total{a=1,b=2}").value(), 3u);
+  EXPECT_TRUE(registry.has("x_total{a=1,b=2}"));
+}
+
+TEST(Metrics, RenderIsNameSortedWithQuotedLabels) {
+  MetricsRegistry registry;
+  registry.gauge("zeta") = 1.0;
+  registry.counter("alpha_total", {{"fn", "web"}}).increment(2);
+  registry.sampler("mid_latency").add(5.0);
+  const std::string text = registry.render();
+
+  const auto alpha = text.find("alpha_total{fn=\"web\"} 2");
+  const auto mid = text.find("mid_latency_count 1");
+  const auto zeta = text.find("zeta 1");
+  ASSERT_NE(alpha, std::string::npos);
+  ASSERT_NE(mid, std::string::npos);
+  ASSERT_NE(zeta, std::string::npos);
+  // Globally name-sorted across metric kinds.
+  EXPECT_LT(alpha, mid);
+  EXPECT_LT(mid, zeta);
+}
+
+TEST(Metrics, HistogramRendersConsistentBucketSumCount) {
+  MetricsRegistry registry;
+  auto& h = registry.histogram("lat_ns", {{"fn", "web"}}, {10.0, 100.0});
+  h.observe(5.0);
+  h.observe(50.0);
+  h.observe(500.0);
+  const std::string text = registry.render();
+  EXPECT_NE(text.find("lat_ns_bucket{fn=\"web\",le=\"10\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_ns_bucket{fn=\"web\",le=\"100\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_ns_bucket{fn=\"web\",le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_ns_sum{fn=\"web\"} 555"), std::string::npos);
+  EXPECT_NE(text.find("lat_ns_count{fn=\"web\"} 3"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Sampler percentile edge cases
+
+TEST(Sampler, PercentileEdgeCases) {
+  Sampler empty;
+  EXPECT_DOUBLE_EQ(empty.percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.percentile(100.0), 0.0);
+
+  Sampler single;
+  single.add(42.0);
+  EXPECT_DOUBLE_EQ(single.percentile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(single.percentile(50.0), 42.0);
+  EXPECT_DOUBLE_EQ(single.percentile(100.0), 42.0);
+
+  Sampler pair;
+  pair.add(1.0);
+  pair.add(2.0);
+  EXPECT_DOUBLE_EQ(pair.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(pair.percentile(100.0), 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Monitor time series
+
+TEST(Monitor, ScrapeTimeSeriesStopsWithTimer) {
+  sim::Simulator sim;
+  net::Network network(sim);
+  auto backend = backends::make_backend(backends::BackendKind::kLambdaNic,
+                                        sim, network);
+  ASSERT_TRUE(backend->deploy(workloads::make_standard_workloads()).ok());
+  framework::Monitor monitor(sim, milliseconds(100));
+  monitor.watch_backend("w", backend.get());
+  monitor.start();
+  sim.run_until(seconds(1));
+  const auto scrapes_at_stop = monitor.scrapes();
+  EXPECT_GE(scrapes_at_stop, 9u);
+  monitor.stop();
+  sim.run_until(seconds(3));
+  EXPECT_EQ(monitor.scrapes(), scrapes_at_stop);  // no scrapes after stop
+
+  // Manual scrape still works and the gauges re-resolve (last value wins).
+  monitor.scrape();
+  EXPECT_EQ(monitor.scrapes(), scrapes_at_stop + 1);
+  EXPECT_TRUE(monitor.metrics().has("backend_completed{node=w}"));
+  EXPECT_NE(monitor.metrics().render().find("monitor_scrapes"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// NPU-grid profiler
+
+TEST(NpuProfiler, BusyAttributionPerThreadCoreAndLambda) {
+  nicsim::NpuProfiler profiler(/*threads=*/4, /*threads_per_core=*/2);
+  EXPECT_EQ(profiler.cores(), 2u);
+
+  profiler.on_dispatch(0, /*workload=*/7, 100);
+  profiler.on_dispatch(1, /*workload=*/8, 100);
+  profiler.on_release(0, 400);  // thread 0 busy 300
+  profiler.on_release(1, 200);  // thread 1 busy 100
+
+  EXPECT_EQ(profiler.thread_busy_ns(0, 1000), 300);
+  EXPECT_EQ(profiler.thread_busy_ns(1, 1000), 100);
+  EXPECT_EQ(profiler.core_busy_ns(0, 1000), 400);  // threads 0+1
+  EXPECT_EQ(profiler.core_busy_ns(1, 1000), 0);
+  EXPECT_EQ(profiler.lambda_busy_ns(7), 300);
+  EXPECT_EQ(profiler.lambda_dispatches(7), 1u);
+  EXPECT_EQ(profiler.lambda_busy_ns(8), 100);
+  // 400 busy ns over 4 threads * 1000 ns.
+  EXPECT_DOUBLE_EQ(profiler.grid_utilization(1000), 0.1);
+
+  // An open interval counts up to `now`.
+  profiler.on_dispatch(2, 7, 500);
+  EXPECT_EQ(profiler.thread_busy_ns(2, 800), 300);
+
+  const std::string report = profiler.text_report(1000);
+  EXPECT_NE(report.find("core"), std::string::npos);
+}
+
+TEST(NpuProfiler, RingsBoundTimelineAndDepthSamples) {
+  nicsim::NpuProfiler profiler(/*threads=*/1, /*threads_per_core=*/1,
+                               /*max_samples=*/4);
+  for (int i = 0; i < 10; ++i) {
+    const SimTime at = i * 100;
+    profiler.on_dispatch(0, 1, at);
+    profiler.on_release(0, at + 50);
+    profiler.on_queue_depth(at, static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(profiler.timeline(0).size(), 4u);
+  EXPECT_EQ(profiler.timeline(0).back().end, 950);
+  EXPECT_EQ(profiler.queue_depth_samples().size(), 4u);
+  EXPECT_EQ(profiler.peak_queue_depth(), 9u);
+  // Cumulative totals stay exact despite ring eviction.
+  EXPECT_EQ(profiler.thread_busy_ns(0, 10000), 500);
+  EXPECT_EQ(profiler.lambda_dispatches(1), 10u);
+}
+
+// ---------------------------------------------------------------------------
+// Integration: traced request with a forced retransmission
+
+TEST(Observability, TracedRetransmitYieldsConnectedSpanTree) {
+  core::ClusterConfig config;
+  config.workers = 1;
+  config.gateway.rpc.retransmit_timeout = milliseconds(10);
+  core::Cluster cluster(config);
+
+  TraceRecorder recorder;
+  cluster.gateway().set_tracer(&recorder);
+  cluster.worker(0).set_tracer(&recorder);
+
+  ASSERT_TRUE(cluster.deploy(workloads::make_standard_workloads()).ok());
+  cluster.wait_until_ready();
+
+  // Swallow the first attempt; the retransmit timer resends at +10 ms
+  // into a healed fabric.
+  cluster.network().set_faults(net::FaultConfig{.drop_probability = 1.0});
+  cluster.sim().schedule(milliseconds(5), [&cluster] {
+    cluster.network().set_faults(net::FaultConfig{});
+  });
+
+  const std::vector<std::uint8_t> rgba(64 * 64 * 4, 0x5A);
+  auto response = cluster.invoke_and_wait(
+      "image_transformer", workloads::encode_image_request(64, 64, rgba));
+  ASSERT_TRUE(response.ok()) << response.error().message;
+  EXPECT_GE(response.value().retries, 1u);
+
+  const auto traces = recorder.trace_ids();
+  ASSERT_EQ(traces.size(), 1u);
+  const auto spans = recorder.trace_spans(traces.front());
+  ASSERT_GE(spans.size(), 5u);
+
+  // One connected tree: exactly one root, every parent resolves.
+  std::set<trace::SpanId> ids;
+  for (const auto& span : spans) ids.insert(span.id);
+  std::size_t roots = 0;
+  for (const auto& span : spans) {
+    if (ids.count(span.parent) == 0) ++roots;
+    EXPECT_FALSE(span.open) << span.name;
+  }
+  EXPECT_EQ(roots, 1u);
+
+  std::set<std::string> kinds;
+  for (const auto& span : spans) kinds.insert(span.name);
+  EXPECT_GE(kinds.size(), 5u);
+  EXPECT_TRUE(kinds.count("request"));
+  EXPECT_TRUE(kinds.count("rpc.attempt"));
+  EXPECT_TRUE(kinds.count("nic.reassemble"));
+  EXPECT_TRUE(kinds.count("nic.execute"));
+
+  // Critical-path components sum exactly to the end-to-end duration and
+  // attribute the dead first attempt to "retransmit".
+  const auto path = recorder.critical_path(traces.front());
+  EXPECT_GT(path.component("retransmit"), 0);
+  SimDuration sum = 0;
+  for (const auto& [name, d] : path.components) sum += d;
+  EXPECT_EQ(sum, path.total);
+  // The root span covers the whole gateway round trip, so it can only
+  // be as long as (or longer than) the rpc-layer latency.
+  EXPECT_GE(path.total, response.value().latency);
+}
+
+}  // namespace
+}  // namespace lnic

@@ -14,6 +14,15 @@
 //       Execute one invocation against the artifact and print the
 //       response, return code, and cycle/latency accounting.
 //
+//   lnicctl trace <web|kv|image> [--requests N] [--retransmit]
+//                 [--backend nic|baremetal|container] [--out trace.json]
+//       Run traced requests through an in-process cluster and write the
+//       Chrome trace_event JSON plus a critical-path breakdown.
+//
+//   lnicctl metrics [--requests N] [--backend nic|baremetal|container]
+//       Run a short workload and print the Prometheus exposition of the
+//       gateway and monitoring-engine registries (incl. NPU-grid gauges).
+//
 // Exit codes: 0 success, 1 usage error, 2 compile/run failure.
 #include <cstdio>
 #include <cstring>
@@ -23,12 +32,16 @@
 #include <string>
 #include <vector>
 
+#include "common/trace.h"
 #include "compiler/pipeline.h"
+#include "core/cluster.h"
+#include "framework/monitor.h"
 #include "microc/disasm.h"
 #include "microc/frontend.h"
 #include "microc/interp.h"
 #include "microc/serialize.h"
 #include "p4/text.h"
+#include "workloads/lambdas.h"
 
 using namespace lnic;
 
@@ -41,7 +54,11 @@ int usage() {
                "[-o <out.lnfw>] [--no-opt]\n"
                "  lnicctl disasm <firmware.lnfw>\n"
                "  lnicctl run <firmware.lnfw> --wid N [--op X] [--key K] "
-               "[--value V] [--cost npu|host|python]\n");
+               "[--value V] [--cost npu|host|python]\n"
+               "  lnicctl trace <web|kv|image> [--requests N] [--retransmit] "
+               "[--backend nic|baremetal|container] [--out trace.json]\n"
+               "  lnicctl metrics [--requests N] "
+               "[--backend nic|baremetal|container]\n");
   return 1;
 }
 
@@ -76,7 +93,7 @@ std::map<std::string, std::string> parse_flags(int argc, char** argv,
     std::string arg = argv[i];
     if (arg.rfind("--", 0) == 0 || arg == "-o") {
       const std::string key = arg == "-o" ? "--out" : arg;
-      if (key == "--no-opt") {
+      if (key == "--no-opt" || key == "--retransmit") {
         flags[key] = "1";
       } else if (i + 1 < argc) {
         flags[key] = argv[++i];
@@ -230,6 +247,164 @@ int cmd_run(int argc, char** argv) {
   return 0;
 }
 
+bool parse_backend(const std::map<std::string, std::string>& flags,
+                   backends::BackendKind* kind) {
+  const auto it = flags.find("--backend");
+  if (it == flags.end() || it->second == "nic") {
+    *kind = backends::BackendKind::kLambdaNic;
+  } else if (it->second == "baremetal") {
+    *kind = backends::BackendKind::kBareMetal;
+  } else if (it->second == "container") {
+    *kind = backends::BackendKind::kContainer;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// The request one trace/metrics scenario issues per iteration.
+struct Scenario {
+  std::string function;
+  std::vector<std::uint8_t> payload;
+};
+
+Result<Scenario> make_scenario(const std::string& name, int iteration) {
+  if (name == "web") {
+    return Scenario{"web_server",
+                    workloads::encode_web_request(iteration & 3)};
+  }
+  if (name == "kv") {
+    return Scenario{"kv_client_get",
+                    workloads::encode_kv_request(7 + iteration)};
+  }
+  if (name == "image") {
+    // 64x64 RGBA (16 KiB): a multi-fragment RDMA-write request.
+    const std::vector<std::uint8_t> rgba(64 * 64 * 4, 0x5A);
+    return Scenario{"image_transformer",
+                    workloads::encode_image_request(64, 64, rgba)};
+  }
+  return make_error("unknown scenario '" + name + "' (web|kv|image)");
+}
+
+int cmd_trace(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string scenario_name = argv[2];
+  auto flags = parse_flags(argc, argv, 3);
+  const int requests =
+      flags.count("--requests") ? std::stoi(flags["--requests"]) : 1;
+  const std::string out_path =
+      flags.count("--out") ? flags["--out"] : "trace.json";
+
+  core::ClusterConfig config;
+  config.workers = 2;
+  if (!parse_backend(flags, &config.backend)) return usage();
+  core::Cluster cluster(config);
+
+  trace::TraceRecorder recorder;
+  cluster.gateway().set_tracer(&recorder);
+  for (std::size_t i = 0; i < cluster.worker_count(); ++i) {
+    cluster.worker(i).set_tracer(&recorder);
+  }
+
+  auto deployed = cluster.deploy(workloads::make_standard_workloads());
+  if (!deployed.ok()) {
+    std::fprintf(stderr, "error: %s\n", deployed.error().message.c_str());
+    return 2;
+  }
+  cluster.wait_until_ready();
+
+  for (int i = 0; i < requests; ++i) {
+    auto scenario = make_scenario(scenario_name, i);
+    if (!scenario.ok()) {
+      std::fprintf(stderr, "error: %s\n", scenario.error().message.c_str());
+      return usage();
+    }
+    if (flags.count("--retransmit") && i == 0) {
+      // Drop everything for 10 ms so the first attempt (and all its
+      // fragments) vanish; the retransmission timer then resends into a
+      // healthy fabric, yielding a trace with a timed-out rpc.attempt.
+      cluster.network().set_faults(net::FaultConfig{.drop_probability = 1.0});
+      cluster.sim().schedule(milliseconds(10), [&cluster] {
+        cluster.network().set_faults(net::FaultConfig{});
+      });
+    }
+    auto response = cluster.invoke_and_wait(scenario.value().function,
+                                            scenario.value().payload);
+    if (!response.ok()) {
+      std::fprintf(stderr, "request %d failed: %s\n", i,
+                   response.error().message.c_str());
+      return 2;
+    }
+    std::printf("request %d: %s ok, latency %.1f us, retries %u\n", i,
+                scenario.value().function.c_str(),
+                to_us(response.value().latency), response.value().retries);
+  }
+
+  for (const auto trace_id : recorder.trace_ids()) {
+    std::fputs(recorder.critical_path_summary(trace_id).c_str(), stdout);
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", out_path.c_str());
+    return 2;
+  }
+  out << recorder.to_chrome_json();
+  std::printf("wrote %s (%zu spans, %llu dropped)\n", out_path.c_str(),
+              recorder.size(),
+              static_cast<unsigned long long>(recorder.dropped()));
+  return 0;
+}
+
+int cmd_metrics(int argc, char** argv) {
+  auto flags = parse_flags(argc, argv, 2);
+  const int requests =
+      flags.count("--requests") ? std::stoi(flags["--requests"]) : 20;
+
+  core::ClusterConfig config;
+  config.workers = 2;
+  if (!parse_backend(flags, &config.backend)) return usage();
+  core::Cluster cluster(config);
+
+  framework::Monitor monitor(cluster.sim(), milliseconds(100));
+  for (std::size_t i = 0; i < cluster.worker_count(); ++i) {
+    auto* backend = &cluster.worker(i);
+    if (auto* nic = dynamic_cast<backends::LambdaNicBackend*>(backend)) {
+      nic->nic().enable_profiler();
+    }
+    monitor.watch_backend("worker" + std::to_string(i), backend);
+  }
+  monitor.watch_gateway(&cluster.gateway());
+
+  auto deployed = cluster.deploy(workloads::make_standard_workloads());
+  if (!deployed.ok()) {
+    std::fprintf(stderr, "error: %s\n", deployed.error().message.c_str());
+    return 2;
+  }
+  cluster.wait_until_ready();
+  monitor.start();
+
+  const char* mix[] = {"web_server", "kv_client_set", "kv_client_get"};
+  for (int i = 0; i < requests; ++i) {
+    const std::string fn = mix[i % 3];
+    auto payload = fn == "web_server"
+                       ? workloads::encode_web_request(i & 3)
+                       : workloads::encode_kv_request(i, i * 3);
+    auto response = cluster.invoke_and_wait(fn, payload);
+    if (!response.ok()) {
+      std::fprintf(stderr, "request %d (%s) failed: %s\n", i, fn.c_str(),
+                   response.error().message.c_str());
+      return 2;
+    }
+  }
+  monitor.scrape();
+
+  std::printf("# gateway registry\n%s",
+              cluster.gateway().metrics().render().c_str());
+  std::printf("# monitor registry\n%s", monitor.metrics().render().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -238,5 +413,7 @@ int main(int argc, char** argv) {
   if (command == "compile") return cmd_compile(argc, argv);
   if (command == "disasm") return cmd_disasm(argc, argv);
   if (command == "run") return cmd_run(argc, argv);
+  if (command == "trace") return cmd_trace(argc, argv);
+  if (command == "metrics") return cmd_metrics(argc, argv);
   return usage();
 }
