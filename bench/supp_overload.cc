@@ -22,6 +22,7 @@
 #include "bench/harness.h"
 #include "framework/gateway.h"
 #include "framework/health.h"
+#include "loadgen/generator.h"
 
 using namespace lnic;
 using namespace lnic::bench;
@@ -144,21 +145,31 @@ OverloadResult run_overload(bool limited, double rate, SimDuration window) {
 
   OverloadResult result;
   Sampler shed_latency;
-  const SimDuration gap =
-      static_cast<SimDuration>(1e9 / rate);  // deterministic arrivals
-  std::uint64_t arrivals = 0;
-  sim::PeriodicTimer arrival(sim, gap, [&] {
-    ++arrivals;
-    const SimTime t0 = sim.now();
-    gateway.invoke("f", {1}, [&, t0](Result<proto::RpcResponse> r) {
-      if (r.ok()) {
-        ++result.ok;
-      } else {
-        ++result.shed;
-        shed_latency.add(static_cast<double>(sim.now() - t0));
-      }
-    });
-  });
+  // Deterministic open-loop arrivals, driven by the loadgen subsystem
+  // (fixed-rate gap == the old hand-rolled 1e9/rate PeriodicTimer, so
+  // arrivals — and the bench output — are unchanged). Offered-load
+  // gauges land in the gateway registry next to gateway_*.
+  loadgen::LoadGenConfig lg;
+  lg.arrivals = loadgen::ArrivalSpec::fixed(rate);
+  std::vector<loadgen::FunctionProfile> profiles(1);
+  profiles[0].name = "f";
+  loadgen::LoadGenerator arrival(
+      sim, lg, profiles,
+      [&](const loadgen::Request& req, loadgen::CompletionFn done) {
+        const SimTime t0 = req.intended;
+        gateway.invoke("f", {1},
+                       [&, t0, done](Result<proto::RpcResponse> r) {
+                         if (r.ok()) {
+                           ++result.ok;
+                         } else {
+                           ++result.shed;
+                           shed_latency.add(
+                               static_cast<double>(sim.now() - t0));
+                         }
+                         done(r.ok());
+                       });
+      });
+  arrival.set_metrics(&gateway.metrics());
   arrival.start();
   sim.run_until(window);
   arrival.stop();
@@ -252,15 +263,25 @@ int main() {
     sim.schedule(milliseconds(1500), [&] {
       served_before_recovery = pool.served[0];
     });
-    sim::PeriodicTimer load(sim, milliseconds(2), [&] {
-      gateway.invoke("f", {1}, [&](Result<proto::RpcResponse> r) {
-        if (r.ok()) {
-          ++ok;
-        } else {
-          ++failed;
-        }
-      });
-    });
+    // One request every 2 ms (fixed 500 req/s), on the same open-loop
+    // driver as the overload experiment.
+    loadgen::LoadGenConfig lg;
+    lg.arrivals = loadgen::ArrivalSpec::fixed(500.0);
+    std::vector<loadgen::FunctionProfile> profiles(1);
+    profiles[0].name = "f";
+    loadgen::LoadGenerator load(
+        sim, lg, profiles,
+        [&](const loadgen::Request&, loadgen::CompletionFn done) {
+          gateway.invoke("f", {1},
+                         [&, done](Result<proto::RpcResponse> r) {
+                           if (r.ok()) {
+                             ++ok;
+                           } else {
+                             ++failed;
+                           }
+                           done(r.ok());
+                         });
+        });
     load.start();
     sim.run_until(seconds(3));
     load.stop();

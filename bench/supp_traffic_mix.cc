@@ -1,0 +1,190 @@
+// Supplementary figure (ours): realistic traffic through the gateway —
+// NIC vs host vs hybrid worker pools under skewed, bursty offered load.
+//
+// The paper's benches drive closed-loop traffic at one function; real
+// serverless frontends see the opposite: many functions, Zipf-skewed
+// popularity, bursty open-loop arrivals that do not slow down when the
+// system does. This bench registers a pool of function aliases (all
+// backed by the web-server lambda so every request really executes),
+// replays the *same* seeded Zipf + on-off burst arrival schedule against
+// three 2-worker pools — SmartNIC, container host, and a mixed
+// NIC+container pool — and reports coordinated-omission-safe SLO
+// accounting: goodput, intended-arrival latency percentiles, and the
+// fraction of demand that missed the deadline.
+//
+// The open-loop offered rate sits above the container pool's capacity,
+// so the host cell shows what closed-loop tests hide: queues (and the
+// intended-arrival tail) grow for as long as the burst lasts. Offered-
+// load gauges (loadgen_offered_rps{fn=}, loadgen_inflight) land in the
+// gateway registry next to gateway_* so supply and demand graph
+// together. Usage: supp_traffic_mix [--smoke] (smaller pool + window).
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "framework/gateway.h"
+#include "loadgen/generator.h"
+
+using namespace lnic;
+using namespace lnic::bench;
+
+namespace {
+
+struct MixParams {
+  std::size_t functions = 32;
+  SimDuration window = milliseconds(400);
+  double base_rps = 2000.0;
+  double burst_rps = 8000.0;
+  SimDuration mean_on = milliseconds(20);
+  SimDuration mean_off = milliseconds(30);
+  double zipf_s = 0.9;
+  SimDuration deadline = milliseconds(2);
+  std::uint64_t seed = 11;
+};
+
+struct CellResult {
+  loadgen::SloReport report;
+  std::uint64_t gateway_requests = 0;
+  double offered_rps_gauge = 0.0;  // hottest function's exported gauge
+};
+
+/// One pool of `kinds` workers behind a fresh gateway, all functions
+/// aliased onto the web-server lambda.
+CellResult run_cell(const std::vector<backends::BackendKind>& kinds,
+                    const MixParams& params) {
+  sim::Simulator sim;
+  net::Network network(sim);
+  kvstore::CacheServer cache(sim, network);
+
+  std::vector<std::unique_ptr<backends::Backend>> workers;
+  std::vector<NodeId> nodes;
+  for (const backends::BackendKind kind : kinds) {
+    workers.push_back(backends::make_backend(kind, sim, network));
+    workers.back()->set_kv_server(cache.node());
+    if (!workers.back()->deploy(workloads::make_standard_workloads()).ok()) {
+      return {};
+    }
+    nodes.push_back(workers.back()->node());
+  }
+  sim.run_until(seconds(40));  // firmware flash / container pull
+
+  framework::GatewayConfig config;
+  config.rpc.retransmit_timeout = seconds(600);  // queueing, not loss
+  framework::Gateway gateway(sim, network, config);
+  for (std::size_t rank = 0; rank < params.functions; ++rank) {
+    gateway.register_function(loadgen::function_name(rank),
+                              workloads::kWebServerId, nodes);
+  }
+
+  loadgen::LoadGenConfig lg;
+  lg.arrivals = loadgen::ArrivalSpec::on_off(
+      params.burst_rps, params.base_rps, params.mean_on, params.mean_off);
+  lg.zipf_s = params.zipf_s;
+  lg.duration = params.window;
+  lg.seed = params.seed;
+  lg.slo.deadline = params.deadline;
+
+  loadgen::LoadGenerator generator(
+      sim, lg, loadgen::uniform_functions(params.functions),
+      loadgen::gateway_sink(gateway, [](const loadgen::Request& request) {
+        return workloads::encode_web_request(request.id & 3);
+      }));
+  generator.set_metrics(&gateway.metrics());
+
+  const SimTime start = sim.now();
+  generator.start();
+  sim.run_until(start + params.window);
+  generator.stop();
+  sim.run();  // drain queued work so every offered request is accounted
+
+  CellResult cell;
+  cell.report = generator.slo().report(params.window);
+  generator.slo().export_to(gateway.metrics(), params.window);
+  cell.gateway_requests = 0;
+  for (std::size_t rank = 0; rank < params.functions; ++rank) {
+    cell.gateway_requests +=
+        gateway.metrics()
+            .counter("gateway_requests_total",
+                     {{"fn", loadgen::function_name(rank)}})
+            .value();
+  }
+  cell.offered_rps_gauge =
+      gateway.metrics().gauge("loadgen_offered_rps",
+                              {{"fn", loadgen::function_name(0)}});
+  return cell;
+}
+
+void print_cell(const std::string& label, const CellResult& cell) {
+  const loadgen::SloReport& r = cell.report;
+  std::printf("  %-14s offered %6llu (%6.0f rps)  goodput %7.0f rps  "
+              "p50 %8.3f  p99 %9.3f  p99.9 %9.3f ms  viol %6.2f%%\n",
+              label.c_str(), static_cast<unsigned long long>(r.offered),
+              r.offered_rps, r.goodput_rps, r.p50_ms, r.p99_ms, r.p999_ms,
+              r.violation_fraction * 100.0);
+}
+
+void add_cell(BenchSummary& summary, const std::string& label,
+              const CellResult& cell) {
+  const loadgen::SloReport& r = cell.report;
+  summary.add(label + "/offered", static_cast<double>(r.offered), "count");
+  summary.add(label + "/completed", static_cast<double>(r.completed),
+              "count");
+  summary.add(label + "/goodput", r.goodput_rps, "rps");
+  summary.add(label + "/p50", r.p50_ms, "ms");
+  summary.add(label + "/p99", r.p99_ms, "ms");
+  summary.add(label + "/p999", r.p999_ms, "ms");
+  summary.add(label + "/violation_frac", r.violation_fraction, "fraction");
+  summary.add(label + "/gateway_requests",
+              static_cast<double>(cell.gateway_requests), "count");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  MixParams params;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      params.functions = 8;
+      params.window = milliseconds(120);
+    }
+  }
+
+  print_header("Supplementary: traffic mix (Zipf + burst, open loop)");
+  std::printf("  %zu functions, Zipf %.1f, base %.0f rps with bursts to "
+              "%.0f rps,\n  deadline %.1f ms, window %.0f ms\n\n",
+              params.functions, params.zipf_s, params.base_rps,
+              params.burst_rps, to_ms(params.deadline),
+              to_ms(params.window));
+
+  BenchSummary summary("supp_traffic_mix", params.seed);
+
+  const CellResult nic = run_cell(
+      {backends::BackendKind::kLambdaNic, backends::BackendKind::kLambdaNic},
+      params);
+  const CellResult host = run_cell(
+      {backends::BackendKind::kContainer, backends::BackendKind::kContainer},
+      params);
+  const CellResult hybrid = run_cell(
+      {backends::BackendKind::kLambdaNic, backends::BackendKind::kContainer},
+      params);
+
+  print_cell("2x nic", nic);
+  print_cell("2x container", host);
+  print_cell("nic+container", hybrid);
+  add_cell(summary, "nic", nic);
+  add_cell(summary, "host", host);
+  add_cell(summary, "hybrid", hybrid);
+
+  std::printf("\n  hottest function offered (gauge): %.0f rps of %.0f rps "
+              "total demand\n",
+              nic.offered_rps_gauge, nic.report.offered_rps);
+  std::printf("\n  Open-loop bursts expose what closed-loop tests hide:\n"
+              "  the NIC pool absorbs the burst inside the deadline, the\n"
+              "  container pool queues for the whole burst (intended-\n"
+              "  arrival p99 counts the stall), and the unweighted hybrid\n"
+              "  inherits the slower half's tail.\n");
+  return 0;
+}

@@ -1,0 +1,159 @@
+// Open-loop load generator / trace replayer.
+//
+// Arrivals are scheduled on the simulator by an ArrivalProcess (or a
+// recorded trace), independent of completions — the generator never
+// waits for a response before offering the next request, which is what
+// distinguishes offered load from the closed-loop harness in
+// bench/harness.h. Each arrival picks a function (Zipf popularity over
+// the registered profiles) and a payload size, then hands a Request to
+// the caller-supplied Sink; the sink maps it onto whatever system is
+// under test (a framework::Gateway, an echo pool, a raw RpcClient) and
+// signals completion. SLO accounting is coordinated-omission safe: the
+// latency clock starts at the *intended* arrival time even when
+// `max_outstanding` forces the driver to defer dispatch.
+//
+// Determinism: all draws come from streams derived from config.seed, so
+// the same (config, profiles) replays the identical request sequence.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "framework/gateway.h"
+#include "framework/metrics.h"
+#include "loadgen/arrival.h"
+#include "loadgen/popularity.h"
+#include "loadgen/slo.h"
+#include "loadgen/trace.h"
+#include "sim/simulator.h"
+
+namespace lnic::loadgen {
+
+/// One offered request. The sink decides the concrete payload bytes
+/// (workload encodings are its business); `payload_bytes` is the size
+/// the model drew.
+struct Request {
+  std::uint64_t id = 0;
+  SimTime intended = 0;
+  std::string function;
+  Bytes payload_bytes = 0;
+};
+
+/// Completion signal: true = success, false = failure (shed, transport
+/// error, ...). Must be called exactly once per sunk request.
+using CompletionFn = std::function<void(bool ok)>;
+using Sink = std::function<void(const Request&, CompletionFn done)>;
+
+struct FunctionProfile {
+  std::string name;
+  PayloadDist payload = PayloadDist::fixed_size(64);
+};
+
+/// n profiles named with function_name(rank), all sharing `payload`.
+std::vector<FunctionProfile> uniform_functions(
+    std::size_t n, PayloadDist payload = PayloadDist::fixed_size(64));
+
+struct LoadGenConfig {
+  ArrivalSpec arrivals;
+  /// Popularity skew across the profile list (profile 0 hottest);
+  /// 0 = uniform.
+  double zipf_s = 0.0;
+  /// Stop offering after this much simulated time (0 = no time limit;
+  /// stop() or max_requests ends the run).
+  SimDuration duration = 0;
+  /// Stop offering after this many requests (0 = unlimited).
+  std::uint64_t max_requests = 0;
+  /// Cap on concurrently dispatched requests; arrivals beyond it are
+  /// queued inside the generator with their intended timestamps intact
+  /// (0 = unbounded, pure open loop).
+  std::uint32_t max_outstanding = 0;
+  std::uint64_t seed = 1;
+  SloConfig slo;
+};
+
+class LoadGenerator {
+ public:
+  /// Synthetic mode: arrivals from config.arrivals, functions from the
+  /// profile list (must be non-empty).
+  LoadGenerator(sim::Simulator& sim, LoadGenConfig config,
+                std::vector<FunctionProfile> profiles, Sink sink);
+  /// Replay mode: arrivals, function names and payload sizes from the
+  /// trace (timestamps relative to start()).
+  LoadGenerator(sim::Simulator& sim, LoadGenConfig config,
+                std::vector<TraceEvent> replay, Sink sink);
+
+  /// Exports offered-load gauges (loadgen_offered_rps{fn=},
+  /// loadgen_inflight, loadgen_offered_requests) into `registry` while
+  /// running — pass the gateway's registry to graph supply vs demand
+  /// together. nullptr detaches.
+  void set_metrics(framework::MetricsRegistry* registry);
+
+  void start();
+  /// Stops offering new arrivals; already-offered requests still
+  /// dispatch and complete.
+  void stop();
+
+  /// True once every offered request has completed and no more will be
+  /// offered.
+  bool drained() const {
+    return !offering_ && completed_ + failed_ == offered_;
+  }
+  std::uint64_t offered() const { return offered_; }
+  std::uint64_t completed() const { return completed_; }
+  std::uint64_t failed() const { return failed_; }
+  std::uint32_t inflight() const { return inflight_; }
+  SimTime started_at() const { return started_at_; }
+
+  SloTracker& slo() { return slo_; }
+  const SloTracker& slo() const { return slo_; }
+  /// Report over [start, now] (or a caller-chosen window).
+  SloReport report() const;
+
+ private:
+  void arm_next();
+  void on_arrival(Request request);
+  void dispatch(Request request);
+  void update_gauges();
+
+  sim::Simulator& sim_;
+  LoadGenConfig config_;
+  std::vector<FunctionProfile> profiles_;
+  std::vector<TraceEvent> replay_;
+  std::size_t replay_next_ = 0;
+  Sink sink_;
+  std::unique_ptr<ArrivalProcess> arrivals_;
+  std::unique_ptr<ZipfSelector> zipf_;
+  Rng payload_rng_;
+  SloTracker slo_;
+  framework::MetricsRegistry* metrics_ = nullptr;
+
+  bool offering_ = false;
+  SimTime started_at_ = 0;
+  std::uint64_t offered_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint32_t inflight_ = 0;
+  std::deque<Request> deferred_;
+  sim::EventId pending_ = sim::kInvalidEvent;
+  std::map<std::string, std::uint64_t> offered_by_fn_;
+};
+
+using EncodeFn = std::function<std::vector<std::uint8_t>(const Request&)>;
+
+/// Default encoding: a payload_bytes-sized buffer with a deterministic
+/// fill — suitable for echo-style workers.
+EncodeFn raw_bytes_encoder();
+
+/// Sink adapter for a framework::Gateway: invokes `request.function`
+/// with `encode(request)` and reports result.ok(). Declared here so
+/// every driver (benches, lnicctl, examples) builds the same adapter.
+Sink gateway_sink(framework::Gateway& gateway, EncodeFn encode);
+
+}  // namespace lnic::loadgen

@@ -1,0 +1,60 @@
+#include "loadgen/popularity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lnic::loadgen {
+
+ZipfSelector::ZipfSelector(std::size_t n, double s, std::uint64_t seed)
+    : rng_(seed) {
+  if (n == 0) n = 1;
+  cdf_.reserve(n);
+  double total = 0.0;
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    total += 1.0 / std::pow(static_cast<double>(rank + 1), s);
+    cdf_.push_back(total);
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding in the search below
+}
+
+std::size_t ZipfSelector::sample() {
+  const double u = rng_.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSelector::expected_fraction(std::size_t rank) const {
+  if (rank >= cdf_.size()) return 0.0;
+  const double below = rank == 0 ? 0.0 : cdf_[rank - 1];
+  return cdf_[rank] - below;
+}
+
+Bytes PayloadDist::sample(Rng& rng) const {
+  switch (kind) {
+    case Kind::kFixed:
+      return fixed;
+    case Kind::kUniform: {
+      const Bytes lo = std::min(min, max), hi = std::max(min, max);
+      return lo + rng.next_below(hi - lo + 1);
+    }
+    case Kind::kBimodal:
+      return rng.next_bool(large_prob) ? large : fixed;
+  }
+  return fixed;
+}
+
+double PayloadDist::mean() const {
+  switch (kind) {
+    case Kind::kFixed:
+      return static_cast<double>(fixed);
+    case Kind::kUniform:
+      return (static_cast<double>(min) + static_cast<double>(max)) / 2.0;
+    case Kind::kBimodal:
+      return static_cast<double>(fixed) * (1.0 - large_prob) +
+             static_cast<double>(large) * large_prob;
+  }
+  return static_cast<double>(fixed);
+}
+
+}  // namespace lnic::loadgen

@@ -1,0 +1,98 @@
+// Coordinated-omission-safe SLO accounting for open-loop load.
+//
+// Every request carries its *intended* arrival time (when the arrival
+// process scheduled it, not when it was actually handed to the system).
+// Latency is completion − intended, so a stalled server inflates the
+// recorded tail instead of silently delaying the requests that would
+// have observed the stall — the classic coordinated-omission bug in
+// closed-loop harnesses. The dispatch-based view is kept alongside for
+// comparison (it is what a naive driver would report).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "framework/metrics.h"
+
+namespace lnic::loadgen {
+
+struct SloConfig {
+  /// Deadline against intended arrival; on-time successes are goodput,
+  /// late successes count as violations.
+  SimDuration deadline = milliseconds(10);
+};
+
+/// Summary of one measurement window.
+struct SloReport {
+  SimDuration deadline = 0;
+  SimDuration window = 0;
+  std::uint64_t offered = 0;
+  std::uint64_t completed = 0;  // successful completions
+  std::uint64_t failed = 0;     // errored (shed, transport failure, ...)
+  std::uint64_t late = 0;       // succeeded after the deadline
+  double offered_rps = 0.0;
+  double goodput_rps = 0.0;  // on-time successes per simulated second
+  double p50_ms = 0.0, p99_ms = 0.0, p999_ms = 0.0;  // intended-based
+  /// (failed + late) / offered — the fraction of demand that missed SLO.
+  double violation_fraction = 0.0;
+
+  struct FnRow {
+    std::string function;
+    std::uint64_t offered = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t violations = 0;  // failed + late
+    double goodput_rps = 0.0;
+    double p99_ms = 0.0;
+  };
+  std::vector<FnRow> per_function;  // sorted by offered, descending
+
+  /// Human-readable multi-line summary (top functions + totals).
+  std::string to_string(std::size_t max_functions = 10) const;
+};
+
+class SloTracker {
+ public:
+  explicit SloTracker(SloConfig config = {}) : config_(config) {}
+
+  void on_offered(const std::string& function);
+  /// `intended` is the arrival process's schedule; `dispatched` is when
+  /// the request actually entered the system (== intended unless the
+  /// driver had to defer it); `completed` is now; `ok` is success.
+  void on_complete(const std::string& function, SimTime intended,
+                   SimTime dispatched, SimTime completed, bool ok);
+
+  SloReport report(SimDuration window) const;
+
+  const SloConfig& config() const { return config_; }
+  std::uint64_t offered() const { return offered_; }
+  /// Intended-arrival-based latencies (ns) — coordinated-omission safe.
+  const Sampler& latency() const { return latency_; }
+  /// Dispatch-based latencies (ns) — what a naive driver would record.
+  const Sampler& service_latency() const { return service_latency_; }
+
+  /// Writes per-function gauges (loadgen_offered_total{fn=},
+  /// loadgen_violations_total{fn=}, loadgen_goodput_rps{fn=}) into a
+  /// registry; idempotent, so it can run beside gateway_* exports.
+  void export_to(framework::MetricsRegistry& registry,
+                 SimDuration window) const;
+
+ private:
+  struct FnStats {
+    std::uint64_t offered = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t late = 0;
+    Sampler latency;  // intended-based, ns
+  };
+
+  SloConfig config_;
+  std::uint64_t offered_ = 0;
+  std::map<std::string, FnStats> functions_;
+  Sampler latency_;
+  Sampler service_latency_;
+};
+
+}  // namespace lnic::loadgen

@@ -1,0 +1,76 @@
+// Request-trace format: record, replay, and synthesize offered load.
+//
+// A trace is a plain-text file, one request per line:
+//
+//   # lnic-trace v1
+//   <timestamp_ns> <function> <payload_bytes>
+//
+// Timestamps are relative to replay start and must be non-decreasing;
+// '#' lines and blank lines are ignored. The format is deliberately
+// trivial so traces can be produced by anything (awk over production
+// logs included) and diffed by eye. synthesize() emits diurnal and
+// burst-shaped traces from a seeded spec, so benches can replay
+// realistic day-shaped or spiky traffic deterministically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "loadgen/popularity.h"
+
+namespace lnic::loadgen {
+
+struct TraceEvent {
+  SimTime at = 0;  // offset from replay start, ns
+  std::string function;
+  Bytes payload_bytes = 0;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+/// Canonical synthetic function name for a popularity rank: "fn000"...
+std::string function_name(std::size_t rank);
+
+/// Serializes events to the text format (header + one line per event).
+std::string write_trace(const std::vector<TraceEvent>& events);
+/// Writes the text format to a file; false on I/O failure.
+bool write_trace_file(const std::string& path,
+                      const std::vector<TraceEvent>& events);
+
+/// Parses the text format. Rejects malformed lines (with the line
+/// number) and timestamps that go backwards.
+Result<std::vector<TraceEvent>> parse_trace(const std::string& text);
+Result<std::vector<TraceEvent>> read_trace_file(const std::string& path);
+
+// ------------------------------------------------------------ synthesis
+
+enum class SynthPattern : std::uint8_t {
+  kConstant,  // flat Poisson at base_rps
+  kDiurnal,   // sinusoidal rate between base_rps and peak_rps per period
+  kBurst,     // base_rps with burst_len spikes to peak_rps every period
+};
+
+struct SynthSpec {
+  SynthPattern pattern = SynthPattern::kConstant;
+  SimDuration duration = seconds(1);
+  double base_rps = 1000.0;
+  double peak_rps = 4000.0;
+  /// Diurnal cycle length / burst spacing.
+  SimDuration period = milliseconds(250);
+  /// Burst width (kBurst only); bursts start at k * period.
+  SimDuration burst_len = milliseconds(20);
+  std::size_t functions = 8;
+  double zipf_s = 0.9;
+  PayloadDist payload = PayloadDist::fixed_size(64);
+  std::uint64_t seed = 1;
+};
+
+/// Emits a time-sorted trace via Poisson thinning against the spec's
+/// rate profile; functions are Zipf-selected over `functions` ranks.
+/// Deterministic for a fixed spec (seed included).
+std::vector<TraceEvent> synthesize(const SynthSpec& spec);
+
+}  // namespace lnic::loadgen
