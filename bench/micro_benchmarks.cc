@@ -64,7 +64,7 @@ static void BM_NetworkPacketDelivery(benchmark::State& state) {
       net::Packet p;
       p.src = a;
       p.dst = b;
-      p.payload.resize(64);
+      p.payload = std::vector<std::uint8_t>(64);
       network.send(std::move(p));
     }
     sim.run();

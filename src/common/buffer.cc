@@ -1,0 +1,100 @@
+#include "common/buffer.h"
+
+#include <cstring>
+
+namespace lnic {
+
+namespace {
+CopyStats g_copy_stats;
+
+void count_copy(std::size_t bytes) {
+  g_copy_stats.bytes_copied += bytes;
+  ++g_copy_stats.copies;
+}
+
+void count_share(std::size_t bytes) {
+  g_copy_stats.bytes_shared += bytes;
+  ++g_copy_stats.shares;
+}
+}  // namespace
+
+CopyStats& copy_stats() { return g_copy_stats; }
+void reset_copy_stats() { g_copy_stats = CopyStats{}; }
+
+Buffer::Ptr Buffer::adopt(std::vector<std::uint8_t> bytes) {
+  return std::make_shared<const Buffer>(AdoptTag{}, std::move(bytes));
+}
+
+Buffer::Ptr Buffer::copy_of(const std::uint8_t* data, std::size_t size) {
+  count_copy(size);
+  return adopt(std::vector<std::uint8_t>(data, data + size));
+}
+
+BufferView::BufferView(std::vector<std::uint8_t>&& bytes)
+    : buffer_(Buffer::adopt(std::move(bytes))) {
+  len_ = buffer_->size();
+}
+
+BufferView::BufferView(const std::vector<std::uint8_t>& bytes)
+    : buffer_(Buffer::copy_of(bytes.data(), bytes.size())),
+      len_(bytes.size()) {}
+
+BufferView::BufferView(std::initializer_list<std::uint8_t> bytes)
+    : BufferView(std::vector<std::uint8_t>(bytes)) {}
+
+BufferView::BufferView(Buffer::Ptr buffer, std::size_t offset, std::size_t len)
+    : buffer_(std::move(buffer)), offset_(offset), len_(len) {}
+
+BufferView BufferView::slice(std::size_t offset, std::size_t len) const {
+  count_share(len);
+  return BufferView(buffer_, offset_ + offset, len);
+}
+
+std::vector<std::uint8_t> BufferView::to_vector() const {
+  count_copy(len_);
+  return std::vector<std::uint8_t>(begin(), end());
+}
+
+bool operator==(const BufferView& a, const BufferView& b) {
+  if (a.size() != b.size()) return false;
+  if (a.size() == 0) return true;
+  return std::memcmp(a.data(), b.data(), a.size()) == 0;
+}
+
+bool operator==(const BufferView& a, const std::vector<std::uint8_t>& b) {
+  if (a.size() != b.size()) return false;
+  if (a.size() == 0) return true;
+  return std::memcmp(a.data(), b.data(), a.size()) == 0;
+}
+
+BufferView coalesce(const std::vector<BufferView>& frags) {
+  if (frags.empty()) return BufferView{};
+  if (frags.size() == 1) {
+    count_share(frags[0].size());
+    return frags[0];
+  }
+  std::size_t total = 0;
+  bool contiguous = true;
+  const Buffer::Ptr& base = frags[0].buffer();
+  std::size_t next_offset = frags[0].offset();
+  for (const BufferView& f : frags) {
+    total += f.size();
+    if (f.buffer() != base || f.offset() != next_offset) contiguous = false;
+    next_offset = f.offset() + f.size();
+  }
+  if (contiguous && base != nullptr) {
+    count_share(total);
+    return BufferView(base, frags[0].offset(), total);
+  }
+  // Fragments from different buffers (e.g. hand-built test packets):
+  // one concatenating copy, exactly what the old datapath always did.
+  std::vector<std::uint8_t> merged;
+  merged.reserve(total);
+  for (const BufferView& f : frags) {
+    merged.insert(merged.end(), f.begin(), f.end());
+  }
+  count_copy(total);
+  return BufferView(std::move(merged));
+}
+
+}  // namespace lnic

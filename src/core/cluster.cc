@@ -50,13 +50,13 @@ void Cluster::wait_until_ready() {
 }
 
 void Cluster::invoke(const std::string& name,
-                     std::vector<std::uint8_t> payload,
+                     net::BufferView payload,
                      framework::InvokeCallback callback) {
   gateway_->invoke(name, std::move(payload), std::move(callback));
 }
 
 Result<proto::RpcResponse> Cluster::invoke_and_wait(
-    const std::string& name, std::vector<std::uint8_t> payload) {
+    const std::string& name, net::BufferView payload) {
   std::optional<Result<proto::RpcResponse>> slot;
   gateway_->invoke(name, std::move(payload),
                    [&slot](Result<proto::RpcResponse> r) {

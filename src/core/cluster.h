@@ -79,13 +79,13 @@ class Cluster {
   void wait_until_ready();
 
   /// Fire-and-callback invocation through the gateway.
-  void invoke(const std::string& name, std::vector<std::uint8_t> payload,
+  void invoke(const std::string& name, net::BufferView payload,
               framework::InvokeCallback callback);
 
   /// Invokes and runs the simulation until the response (or failure)
   /// arrives. Convenience for examples and tests.
   Result<proto::RpcResponse> invoke_and_wait(const std::string& name,
-                                             std::vector<std::uint8_t> payload);
+                                             net::BufferView payload);
 
  private:
   ClusterConfig config_;

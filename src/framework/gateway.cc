@@ -125,8 +125,7 @@ bool Gateway::sample_trace() {
   return false;
 }
 
-void Gateway::invoke(const std::string& name,
-                     std::vector<std::uint8_t> payload,
+void Gateway::invoke(const std::string& name, net::BufferView payload,
                      InvokeCallback callback) {
   if (!has_function(name) || routes_[name].workers.empty()) {
     metrics_.counter("gateway_unroutable_total").increment();
@@ -179,8 +178,7 @@ void Gateway::shed(const std::string& name, InvokeCallback& callback,
   }
 }
 
-void Gateway::submit(const std::string& name,
-                     std::vector<std::uint8_t> payload,
+void Gateway::submit(const std::string& name, net::BufferView payload,
                      InvokeCallback callback, trace::SpanContext ctx) {
   FnLoad& load = load_[name];
   if (load.inflight < config_.max_inflight_per_function) {
@@ -336,8 +334,7 @@ NodeId Gateway::pick_worker(const std::string& name, const Route& route) {
   return route.replicas.back().node;
 }
 
-void Gateway::dispatch(const std::string& name,
-                       std::vector<std::uint8_t> payload,
+void Gateway::dispatch(const std::string& name, net::BufferView payload,
                        InvokeCallback callback, std::uint32_t attempts_left,
                        trace::SpanContext ctx) {
   const SimTime started = sim_.now();
@@ -363,7 +360,7 @@ void Gateway::dispatch(const std::string& name,
 }
 
 void Gateway::send_to_worker(const std::string& name,
-                             std::vector<std::uint8_t> payload,
+                             net::BufferView payload,
                              InvokeCallback callback,
                              std::uint32_t attempts_left, SimTime started,
                              trace::SpanContext ctx) {
@@ -388,8 +385,8 @@ void Gateway::send_to_worker(const std::string& name,
     }
   }
 
-  // Keep a copy in case the call fails and we fail over to a replica.
-  std::vector<std::uint8_t> retry_copy = payload;
+  // Retained for failover to a replica: a view, not a byte copy.
+  net::BufferView retry_copy = payload;
   rpc_.call(worker, route.workload, std::move(payload),
             [this, name, worker, kind, started, attempts_left, ctx,
              retry_copy = std::move(retry_copy),

@@ -121,7 +121,7 @@ class Gateway {
   /// Invokes a function by name; the callback receives the response, a
   /// transport error after failovers are exhausted, or an overload error
   /// if the request was shed.
-  void invoke(const std::string& name, std::vector<std::uint8_t> payload,
+  void invoke(const std::string& name, net::BufferView payload,
               InvokeCallback callback);
 
   /// Drops a worker from every route (explicit operator action; failure
@@ -176,7 +176,7 @@ class Gateway {
 
   struct Queued {
     std::uint64_t id = 0;
-    std::vector<std::uint8_t> payload;
+    net::BufferView payload;
     InvokeCallback callback;
     SimTime enqueued_at = 0;
     trace::SpanContext ctx;
@@ -193,18 +193,18 @@ class Gateway {
   bool admit(const std::string& name);  // token-bucket check
   /// Deterministic sampling decision for one request (no RNG draw).
   bool sample_trace();
-  void dispatch(const std::string& name, std::vector<std::uint8_t> payload,
+  void dispatch(const std::string& name, net::BufferView payload,
                 InvokeCallback callback, std::uint32_t attempts_left,
                 trace::SpanContext ctx);
   /// Route resolution + replica pick + rpc send; runs after the proxy
   /// delay so route updates landing mid-flight take effect.
   void send_to_worker(const std::string& name,
-                      std::vector<std::uint8_t> payload,
+                      net::BufferView payload,
                       InvokeCallback callback, std::uint32_t attempts_left,
                       SimTime started, trace::SpanContext ctx);
   NodeId pick_worker(const std::string& name, const Route& route);
   /// Limiter entry: dispatch now or queue/shed.
-  void submit(const std::string& name, std::vector<std::uint8_t> payload,
+  void submit(const std::string& name, net::BufferView payload,
               InvokeCallback callback, trace::SpanContext ctx);
   void on_complete(const std::string& name);
   void shed(const std::string& name, InvokeCallback& callback,

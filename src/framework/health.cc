@@ -12,8 +12,7 @@ HealthChecker::HealthChecker(sim::Simulator& sim, net::Network& network,
                             .max_retries = 0}),
       timer_(sim, config.probe_interval, [this] { probe_all(); }) {}
 
-void HealthChecker::watch(NodeId worker,
-                          std::vector<std::uint8_t> probe_payload) {
+void HealthChecker::watch(NodeId worker, net::BufferView probe_payload) {
   state_[worker] = WorkerState{std::move(probe_payload), 0, false};
 }
 

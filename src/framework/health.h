@@ -35,7 +35,7 @@ class HealthChecker {
                 HealthConfig config = {});
 
   /// Registers a worker for probing.
-  void watch(NodeId worker, std::vector<std::uint8_t> probe_payload);
+  void watch(NodeId worker, net::BufferView probe_payload);
 
   void start() { timer_.start(); }
   void stop() { timer_.stop(); }
@@ -61,7 +61,7 @@ class HealthChecker {
   void probe_all();
 
   struct WorkerState {
-    std::vector<std::uint8_t> payload;
+    net::BufferView payload;
     std::uint32_t consecutive_failures = 0;
     bool quarantined = false;
   };

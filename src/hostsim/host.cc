@@ -73,8 +73,8 @@ void HostServer::handle_packet(const Packet& packet) {
           ++re.received;
         }
         if (re.received < re.frags.size()) return;
-        std::vector<std::uint8_t> body;
-        for (auto& f : re.frags) body.insert(body.end(), f.begin(), f.end());
+        // Contiguous slices of the sender's buffer: no copy.
+        net::BufferView body = coalesce(re.frags);
         Packet first = re.first;
         reassembly_.erase(key);
         handle_request(first, std::move(body));
@@ -91,8 +91,7 @@ void HostServer::handle_packet(const Packet& packet) {
   }
 }
 
-void HostServer::handle_request(const Packet& packet,
-                                std::vector<std::uint8_t> body) {
+void HostServer::handle_request(const Packet& packet, net::BufferView body) {
   if (!program_) {
     ++stats_.requests_dropped;
     return;
@@ -287,12 +286,13 @@ void HostServer::run_gil(std::unique_ptr<Job> job) {
         kv.kind = PacketKind::kKvRequest;
         kv.lambda.request_id = token;
         kv.lambda.workload_id = static_cast<WorkloadId>(ext.kind);
-        kv.payload.resize(16);
+        std::vector<std::uint8_t> kv_body(16);
         for (int i = 0; i < 8; ++i) {
-          kv.payload[i] = static_cast<std::uint8_t>(ext.key >> (8 * i));
-          kv.payload[8 + i] =
+          kv_body[i] = static_cast<std::uint8_t>(ext.key >> (8 * i));
+          kv_body[8 + i] =
               static_cast<std::uint8_t>(ext.value >> (8 * i));
         }
+        kv.payload = std::move(kv_body);
         network_.send(std::move(kv));
         return;
       }
@@ -339,8 +339,9 @@ void HostServer::finish_job(std::unique_ptr<Job> job) {
     LNIC_WARN() << "host lambda trap: " << job->outcome.trap_message;
   } else {
     ++stats_.requests_completed;
-    auto frags = net::fragment(node_, job->reply_to, PacketKind::kResponse,
-                               job->lambda, job->outcome.response);
+    auto frags =
+        net::fragment(node_, job->reply_to, PacketKind::kResponse, job->lambda,
+                      net::BufferView(std::move(job->outcome.response)));
     for (auto& f : frags) network_.send(std::move(f));
   }
   try_admit();

@@ -120,8 +120,7 @@ class HostServer {
   };
 
   void handle_packet(const net::Packet& packet);
-  void handle_request(const net::Packet& packet,
-                      std::vector<std::uint8_t> body);
+  void handle_request(const net::Packet& packet, net::BufferView body);
   void handle_kv_response(const net::Packet& packet);
   void admit(std::unique_ptr<Job> job);
   void try_admit();
@@ -157,7 +156,7 @@ class HostServer {
   std::deque<std::unique_ptr<Job>> admission_;
 
   struct Reassembly {
-    std::vector<std::vector<std::uint8_t>> frags;
+    std::vector<net::BufferView> frags;
     std::uint32_t received = 0;
     net::Packet first;
   };

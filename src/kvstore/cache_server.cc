@@ -76,10 +76,11 @@ void CacheServer::handle_packet(const Packet& packet) {
   response.dst = packet.src;
   response.kind = PacketKind::kKvResponse;
   response.lambda = packet.lambda;
-  response.payload.resize(8);
+  std::vector<std::uint8_t> reply_body(8);
   for (int i = 0; i < 8; ++i) {
-    response.payload[i] = static_cast<std::uint8_t>(reply >> (8 * i));
+    reply_body[i] = static_cast<std::uint8_t>(reply >> (8 * i));
   }
+  response.payload = std::move(reply_body);
   sim_.schedule(service, [this, response = std::move(response)]() mutable {
     network_.send(std::move(response));
   });

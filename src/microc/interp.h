@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/buffer.h"
 #include "common/types.h"
 #include "microc/ir.h"
 
@@ -72,7 +73,9 @@ struct HeaderValues {
 /// One request to a deployed program.
 struct Invocation {
   HeaderValues headers;
-  std::vector<std::uint8_t> body;        // request payload / RDMA region
+  /// Request payload / RDMA region: a zero-copy view into the packet
+  /// buffer (the Machine only reads it, as NIC firmware reads CTM).
+  BufferView body;
   std::vector<std::uint64_t> match_data; // MATCH_DATA_T
 };
 

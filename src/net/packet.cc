@@ -17,17 +17,19 @@ const char* to_string(PacketKind kind) {
   return "?";
 }
 
-std::vector<std::uint8_t> make_payload(const std::string& text) {
-  return std::vector<std::uint8_t>(text.begin(), text.end());
+BufferView make_payload(const std::string& text) {
+  // The string→bytes conversion is the only copy; the returned view
+  // adopts the vector, so downstream packet/RPC plumbing shares it.
+  return BufferView(std::vector<std::uint8_t>(text.begin(), text.end()));
 }
 
-std::string payload_to_string(const std::vector<std::uint8_t>& payload) {
+std::string payload_to_string(const BufferView& payload) {
   return std::string(payload.begin(), payload.end());
 }
 
 std::vector<Packet> fragment(NodeId src, NodeId dst, PacketKind kind,
                              const LambdaHeader& header,
-                             const std::vector<std::uint8_t>& payload) {
+                             const BufferView& payload) {
   std::vector<Packet> out;
   const std::size_t total = payload.size();
   const std::size_t count =
@@ -43,8 +45,7 @@ std::vector<Packet> fragment(NodeId src, NodeId dst, PacketKind kind,
     p.lambda.frag_count = static_cast<std::uint32_t>(count);
     const std::size_t begin = i * kMaxPayload;
     const std::size_t end = std::min(total, begin + kMaxPayload);
-    p.payload.assign(payload.begin() + static_cast<std::ptrdiff_t>(begin),
-                     payload.begin() + static_cast<std::ptrdiff_t>(end));
+    p.payload = payload.slice(begin, end - begin);
     out.push_back(std::move(p));
   }
   return out;

@@ -5,16 +5,25 @@
 // dispatches on it. Multi-packet payloads are fragmented and carry
 // (frag_index, frag_count) so the NIC-side reorder buffer can reassemble
 // out-of-order arrivals (paper §4.2.1 D3).
+//
+// Payloads are zero-copy: a Packet carries a BufferView into a
+// refcounted immutable Buffer (common/buffer.h). fragment() slices the
+// source buffer instead of copying it, so every fragment — and, after
+// coalesce(), the reassembled body — shares the producer's storage.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "common/buffer.h"
 #include "common/trace.h"
 #include "common/types.h"
 
 namespace lnic::net {
+
+using lnic::Buffer;
+using lnic::BufferView;
 
 /// Wire overhead of Ethernet + IPv4 + UDP framing, bytes.
 constexpr Bytes kFrameOverhead = 14 + 20 + 8;
@@ -53,7 +62,7 @@ struct Packet {
   NodeId dst = kInvalidNode;
   PacketKind kind = PacketKind::kRequest;
   LambdaHeader lambda;
-  std::vector<std::uint8_t> payload;
+  BufferView payload;
 
   /// Total on-the-wire size including framing.
   Bytes wire_size() const {
@@ -62,13 +71,16 @@ struct Packet {
 };
 
 /// Builds a payload from a string (request bodies in examples/tests).
-std::vector<std::uint8_t> make_payload(const std::string& text);
-std::string payload_to_string(const std::vector<std::uint8_t>& payload);
+/// Returns a view adopting freshly built storage — callers hand it to
+/// Packet/RPC APIs without a further copy.
+BufferView make_payload(const std::string& text);
+std::string payload_to_string(const BufferView& payload);
 
 /// Splits `payload` into <=kMaxPayload fragments, all sharing `header`'s
-/// workload/request IDs with frag_index/frag_count filled in.
+/// workload/request IDs with frag_index/frag_count filled in. Fragments
+/// are views into `payload`'s buffer — no bytes are copied.
 std::vector<Packet> fragment(NodeId src, NodeId dst, PacketKind kind,
                              const LambdaHeader& header,
-                             const std::vector<std::uint8_t>& payload);
+                             const BufferView& payload);
 
 }  // namespace lnic::net

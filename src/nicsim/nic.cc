@@ -121,8 +121,7 @@ void SmartNic::handle_packet(const Packet& packet) {
   }
 }
 
-void SmartNic::handle_request(const Packet& packet,
-                              std::vector<std::uint8_t> body) {
+void SmartNic::handle_request(const Packet& packet, net::BufferView body) {
   if (!program_ || down()) {
     ++stats_.requests_dropped_down;
     return;
@@ -217,9 +216,9 @@ void SmartNic::handle_rdma_fragment(const Packet& packet) {
   if (re.received < re.frags.size()) return;
 
   // Last fragment landed: reorder/assemble in EMEM and fire the event
-  // RPC that triggers the lambda (D3).
-  std::vector<std::uint8_t> body;
-  for (auto& f : re.frags) body.insert(body.end(), f.begin(), f.end());
+  // RPC that triggers the lambda (D3). The fragments are contiguous
+  // slices of the sender's buffer, so this coalesces without copying.
+  net::BufferView body = coalesce(re.frags);
   Packet trigger = re.first;
   if (re.span != trace::kInvalidSpan) {
     tracer_->end_span(re.span, sim_.now());
@@ -369,11 +368,12 @@ void SmartNic::continue_flight(std::unique_ptr<Flight> flight,
       kv.lambda.request_id = token;
       kv.lambda.workload_id =
           static_cast<WorkloadId>(ext.kind);  // 0 = GET, 1 = SET
-      kv.payload.resize(16);
+      std::vector<std::uint8_t> kv_body(16);
       for (int i = 0; i < 8; ++i) {
-        kv.payload[i] = static_cast<std::uint8_t>(ext.key >> (8 * i));
-        kv.payload[8 + i] = static_cast<std::uint8_t>(ext.value >> (8 * i));
+        kv_body[i] = static_cast<std::uint8_t>(ext.key >> (8 * i));
+        kv_body[8 + i] = static_cast<std::uint8_t>(ext.value >> (8 * i));
       }
+      kv.payload = std::move(kv_body);
       network_.send(std::move(kv));
     });
     return;
@@ -382,7 +382,7 @@ void SmartNic::continue_flight(std::unique_ptr<Flight> flight,
   // Done or trapped: hold the thread for the compute burst, then reply.
   auto* raw = flight.release();
   sim_.schedule(service, [this, raw, outcome = std::move(outcome)]() mutable {
-    finish_flight(std::unique_ptr<Flight>(raw), outcome);
+    finish_flight(std::unique_ptr<Flight>(raw), std::move(outcome));
   });
 }
 
@@ -404,7 +404,7 @@ void SmartNic::handle_kv_response(const Packet& packet) {
 }
 
 void SmartNic::finish_flight(std::unique_ptr<Flight> flight,
-                             const Outcome& outcome) {
+                             Outcome outcome) {
   inflight_bytes_ -= flight->staged_bytes;
   stats_.service_cycles.add(static_cast<double>(outcome.cycles));
   if (flight->exec_span != trace::kInvalidSpan) {
@@ -426,8 +426,9 @@ void SmartNic::finish_flight(std::unique_ptr<Flight> flight,
   } else {
     ++stats_.requests_completed;
     net::LambdaHeader hdr = flight->lambda;
-    auto frags = net::fragment(node_, flight->reply_to,
-                               PacketKind::kResponse, hdr, outcome.response);
+    // Adopt the response vector into one buffer; fragments are slices.
+    auto frags = net::fragment(node_, flight->reply_to, PacketKind::kResponse,
+                               hdr, net::BufferView(std::move(outcome.response)));
     for (auto& f : frags) network_.send(std::move(f));
   }
   release_thread();

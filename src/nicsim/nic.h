@@ -153,8 +153,7 @@ class SmartNic {
   struct Flight;  // one in-flight request occupying a thread
 
   void handle_packet(const net::Packet& packet);
-  void handle_request(const net::Packet& packet,
-                      std::vector<std::uint8_t> body);
+  void handle_request(const net::Packet& packet, net::BufferView body);
   void handle_rdma_fragment(const net::Packet& packet);
   void handle_kv_response(const net::Packet& packet);
   void enter_parse_stage(std::unique_ptr<Flight> flight);
@@ -165,8 +164,7 @@ class SmartNic {
   void start_execution(std::unique_ptr<Flight> flight);
   void continue_flight(std::unique_ptr<Flight> flight,
                        microc::Outcome outcome);
-  void finish_flight(std::unique_ptr<Flight> flight,
-                     const microc::Outcome& outcome);
+  void finish_flight(std::unique_ptr<Flight> flight, microc::Outcome outcome);
   void release_thread();
 
   sim::Simulator& sim_;
@@ -194,9 +192,11 @@ class SmartNic {
   WfqWeights weights_;
   std::size_t queued_ = 0;
 
-  // RDMA reassembly: (src, request id) -> fragments received.
+  // RDMA reassembly: (src, request id) -> fragment views received. The
+  // fragments land "in EMEM" by reference; reassembly coalesces them
+  // into a spanning view without copying.
   struct Reassembly {
-    std::vector<std::vector<std::uint8_t>> frags;
+    std::vector<net::BufferView> frags;
     std::uint32_t received = 0;
     net::Packet first;  // header template
     trace::SpanId span = trace::kInvalidSpan;  // nic.reassemble

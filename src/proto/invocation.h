@@ -13,7 +13,7 @@
 
 namespace lnic::proto {
 
-inline std::uint64_t payload_word(const std::vector<std::uint8_t>& body,
+inline std::uint64_t payload_word(const BufferView& body,
                                   std::size_t index) {
   std::uint64_t v = 0;
   for (std::size_t b = 0; b < 8 && index * 8 + b < body.size(); ++b) {
@@ -23,10 +23,9 @@ inline std::uint64_t payload_word(const std::vector<std::uint8_t>& body,
 }
 
 /// Fills an invocation from the request header + (reassembled) body.
-/// `body` is moved into the invocation.
+/// `body` is a zero-copy view shared with the packet buffer.
 inline microc::Invocation build_invocation(const net::LambdaHeader& header,
-                                           NodeId src,
-                                           std::vector<std::uint8_t> body) {
+                                           NodeId src, BufferView body) {
   microc::Invocation inv;
   inv.headers.fields[microc::kHdrWorkloadId] = header.workload_id;
   inv.headers.fields[microc::kHdrRequestId] = header.request_id;

@@ -48,9 +48,8 @@ RpcClient::RpcClient(sim::Simulator& sim, net::Network& network,
   node_ = network_.attach([this](const Packet& p) { on_packet(p); });
 }
 
-void RpcClient::call(NodeId dst, WorkloadId workload,
-                     std::vector<std::uint8_t> payload, RpcCallback callback,
-                     trace::SpanContext ctx) {
+void RpcClient::call(NodeId dst, WorkloadId workload, net::BufferView payload,
+                     RpcCallback callback, trace::SpanContext ctx) {
   const RequestId id = next_id_++;
   Pending pending;
   pending.dst = dst;
@@ -190,9 +189,9 @@ void RpcClient::on_packet(const Packet& packet) {
   }
 
   RpcResponse response;
-  for (auto& f : p.frags) {
-    response.payload.insert(response.payload.end(), f.begin(), f.end());
-  }
+  // Zero-copy on the fast path: response fragments are contiguous
+  // slices of the responder's buffer, so this is a spanning view.
+  response.payload = coalesce(p.frags);
   response.latency = sim_.now() - p.sent_at;
   response.retries = p.retries;
   if (p.attempt_span != trace::kInvalidSpan) {

@@ -65,7 +65,9 @@ class RttEstimator {
 };
 
 struct RpcResponse {
-  std::vector<std::uint8_t> payload;
+  /// Reassembled response body: a zero-copy view that (on the fast path)
+  /// shares the responder's buffer end-to-end.
+  net::BufferView payload;
   SimDuration latency = 0;    // send -> complete response
   std::uint32_t retries = 0;
 };
@@ -84,7 +86,7 @@ class RpcClient {
   /// the call records an `rpc.call` span with one `rpc.attempt` child
   /// per transmission (timed-out attempts are annotated), and every
   /// outgoing packet carries the attempt's span context.
-  void call(NodeId dst, WorkloadId workload, std::vector<std::uint8_t> payload,
+  void call(NodeId dst, WorkloadId workload, net::BufferView payload,
             RpcCallback callback, trace::SpanContext ctx = {});
 
   /// Attaches (nullptr detaches) the span recorder. Off by default;
@@ -107,7 +109,9 @@ class RpcClient {
   struct Pending {
     NodeId dst;
     WorkloadId workload;
-    std::vector<std::uint8_t> payload;
+    // The request body is retained as a view; retransmissions re-slice
+    // the same buffer instead of re-copying the payload.
+    net::BufferView payload;
     RpcCallback callback;
     SimTime sent_at;
     std::uint32_t retries = 0;
@@ -117,7 +121,7 @@ class RpcClient {
     trace::SpanId attempt_span = trace::kInvalidSpan;
     // Response reassembly: `got` tracks receipt explicitly so duplicate
     // or zero-length fragments can never double-count.
-    std::vector<std::vector<std::uint8_t>> frags;
+    std::vector<net::BufferView> frags;
     std::vector<bool> got;
     std::uint32_t received = 0;
   };

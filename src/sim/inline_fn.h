@@ -1,0 +1,134 @@
+// Small-buffer move-only callable for the event engine's hot path.
+//
+// std::function heap-allocates most simulator closures (captures beyond
+// its ~2-word SBO) and drags in copy-ability the engine never needs.
+// InlineFn stores callables up to `Capacity` bytes in place — the common
+// packet-delivery and timer closures never touch the allocator — and
+// falls back to a single heap cell for oversized captures. Move-only,
+// so closures may own move-only state (pending flights, buffers).
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace lnic::sim {
+
+template <std::size_t Capacity>
+class InlineFn {
+ public:
+  InlineFn() noexcept = default;
+  InlineFn(std::nullptr_t) noexcept {}
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineFn(F&& fn) {
+    emplace(std::forward<F>(fn));
+  }
+
+  InlineFn(InlineFn&& other) noexcept { take(other); }
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      take(other);
+    }
+    return *this;
+  }
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+  ~InlineFn() { reset(); }
+
+  // const like std::function: invoking from a non-mutable lambda capture
+  // is the norm. The callable itself may still mutate its own state.
+  void operator()() const { ops_->invoke(&storage_); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(&storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  /// Constructs `fn` directly in this cell (replacing any held callable)
+  /// — lets callers skip the construct-then-relocate of assigning a
+  /// freshly built InlineFn.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  void assign(F&& fn) {
+    reset();
+    emplace(std::forward<F>(fn));
+  }
+  void assign(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      take(other);
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src) noexcept;  // move + destroy src
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename D>
+  static constexpr bool kInline = sizeof(D) <= Capacity &&
+                                  alignof(D) <= alignof(std::max_align_t) &&
+                                  std::is_nothrow_move_constructible_v<D>;
+
+  template <typename D>
+  static const Ops* inline_ops() {
+    static constexpr Ops ops{
+        [](void* s) { (*static_cast<D*>(s))(); },
+        [](void* dst, void* src) noexcept {
+          ::new (dst) D(std::move(*static_cast<D*>(src)));
+          static_cast<D*>(src)->~D();
+        },
+        [](void* s) noexcept { static_cast<D*>(s)->~D(); }};
+    return &ops;
+  }
+
+  template <typename D>
+  static const Ops* heap_ops() {
+    static constexpr Ops ops{
+        [](void* s) { (**static_cast<D**>(s))(); },
+        [](void* dst, void* src) noexcept {
+          ::new (dst) D*(*static_cast<D**>(src));
+        },
+        [](void* s) noexcept { delete *static_cast<D**>(s); }};
+    return &ops;
+  }
+
+  template <typename F>
+  void emplace(F&& fn) {
+    using D = std::decay_t<F>;
+    if constexpr (kInline<D>) {
+      ::new (&storage_) D(std::forward<F>(fn));
+      ops_ = inline_ops<D>();
+    } else {
+      ::new (&storage_) D*(new D(std::forward<F>(fn)));
+      ops_ = heap_ops<D>();
+    }
+  }
+
+  void take(InlineFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(&storage_, &other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) mutable unsigned char storage_[Capacity];
+};
+
+}  // namespace lnic::sim

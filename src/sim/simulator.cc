@@ -1,46 +1,210 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace lnic::sim {
 
-EventId Simulator::schedule(SimDuration delay, EventFn fn) {
-  assert(delay >= 0);
-  return schedule_at(now_ + delay, std::move(fn));
-}
-
-EventId Simulator::schedule_at(SimTime at, EventFn fn) {
+EventId Simulator::allocate_event(SimTime at) {
   assert(at >= now_);
-  const EventId id = next_id_++;
-  queue_.push(Event{at, next_seq_++, id});
-  handlers_.emplace(id, std::move(fn));
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.armed = true;
+  ++live_;
+  const EventId id = pack(slot, s.generation);
+  push_entry(Entry{at, next_seq_++, id});
   return id;
 }
 
+void Simulator::push_entry(const Entry& e) {
+  const std::uint64_t tick = tick_of(e.time);
+  if (tick < tick_) {
+    // The wheel can sit ahead of the clock only after a run() drained
+    // the queue completely with its last entries cancelled far timers
+    // (dispatching never leaves a gap: now_ catches up to tick_). The
+    // structure is empty here, so re-base the wheel at this event.
+    tick_ = tick;
+  }
+  if (tick >= tick_ + kWheelSize) {
+    overflow_.push(e);
+    return;
+  }
+  if (draining_ && tick == tick_) {
+    // Scheduling into the bucket currently being drained (a zero/tiny
+    // delay from inside a handler): arrivals go to the incoming run.
+    // Keys are almost always appended in order; the occasional
+    // out-of-order arrival is placed by ordered insert.
+    if (incoming_.empty() || !entry_less(e, incoming_.back())) {
+      incoming_.push_back(e);
+    } else {
+      incoming_.insert(
+          std::upper_bound(
+              incoming_.begin() +
+                  static_cast<std::ptrdiff_t>(incoming_pos_),
+              incoming_.end(), e, entry_less),
+          e);
+    }
+    return;
+  }
+  append_to_bucket(e, tick);
+}
+
+void Simulator::append_to_bucket(const Entry& e, std::uint64_t tick) {
+  const std::uint64_t idx = tick & kWheelMask;
+  auto& b = buckets_[idx];
+  if (b.empty()) {
+    bits_[idx >> 6] |= 1ull << (idx & 63);
+    mins_[idx] = MinKey{e.time, e.seq};
+  } else if (e.time < mins_[idx].time) {
+    // Equal times keep the resident min: sequence numbers only grow.
+    mins_[idx] = MinKey{e.time, e.seq};
+  }
+  b.push_back(e);
+}
+
+void Simulator::advance_to(std::uint64_t tick) {
+  tick_ = tick;
+  while (!overflow_.empty() &&
+         tick_of(overflow_.top().time) < tick_ + kWheelSize) {
+    const Entry e = overflow_.top();
+    overflow_.pop();
+    append_to_bucket(e, tick_of(e.time));
+  }
+}
+
+void Simulator::close_bucket() {
+  const std::uint64_t idx = tick_ & kWheelMask;
+  buckets_[idx].clear();  // keeps capacity for the next lap
+  incoming_.clear();
+  incoming_pos_ = 0;
+  bits_[idx >> 6] &= ~(1ull << (idx & 63));
+  draining_ = false;
+}
+
+bool Simulator::find_next_bucket(std::uint64_t* tick_out) const {
+  constexpr std::uint64_t kWords = kWheelSize / 64;
+  const std::uint64_t idx0 = tick_ & kWheelMask;
+  std::uint64_t word_i = idx0 >> 6;
+  std::uint64_t word = bits_[word_i] & (~0ull << (idx0 & 63));
+  // One pass over the ring (first word is revisited unmasked at the end;
+  // its high bits were proven empty on the masked visit).
+  for (std::uint64_t scanned = 0; scanned <= kWords; ++scanned) {
+    if (word != 0) {
+      const std::uint64_t idx =
+          (word_i << 6) + static_cast<std::uint64_t>(std::countr_zero(word));
+      const std::uint64_t base = tick_ & ~kWheelMask;
+      *tick_out = idx >= idx0 ? base + idx : base + kWheelSize + idx;
+      return true;
+    }
+    word_i = (word_i + 1) & (kWords - 1);
+    word = bits_[word_i];
+  }
+  return false;
+}
+
+Simulator::Candidate Simulator::peek() const {
+  Candidate c;
+  if (draining_) {
+    // Entries in later buckets belong to later ticks, so the open
+    // bucket's merge head (sorted bucket vs incoming run) is the wheel
+    // minimum.
+    const auto& b = buckets_[tick_ & kWheelMask];
+    const Entry* e = drain_pos_ < b.size() ? &b[drain_pos_] : nullptr;
+    if (incoming_pos_ < incoming_.size()) {
+      const Entry& in = incoming_[incoming_pos_];
+      if (e == nullptr || entry_less(in, *e)) e = &in;
+    }
+    c = Candidate{e->time, e->seq, tick_, true, true};
+  } else {
+    std::uint64_t tick;
+    if (find_next_bucket(&tick)) {
+      const MinKey& m = mins_[tick & kWheelMask];
+      c = Candidate{m.time, m.seq, tick, true, true};
+    }
+  }
+  if (!overflow_.empty()) {
+    const Entry& top = overflow_.top();
+    if (!c.found || top.time < c.time ||
+        (top.time == c.time && top.seq < c.seq)) {
+      c = Candidate{top.time, top.seq, tick_of(top.time), false, true};
+    }
+  }
+  return c;
+}
+
+void Simulator::retire(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.armed = false;
+  // Generation 0 is reserved so kInvalidEvent (= 0) never matches.
+  if (++s.generation == 0) s.generation = 1;
+  free_slots_.push_back(slot);
+  --live_;
+}
+
 bool Simulator::cancel(EventId id) {
-  auto it = handlers_.find(id);
-  if (it == handlers_.end()) return false;
-  handlers_.erase(it);
-  cancelled_.insert(id);
+  const std::uint32_t slot = slot_of(id);
+  if (slot >= slots_.size()) return false;
+  Slot& s = slots_[slot];
+  if (!s.armed || s.generation != generation_of(id)) return false;
+  s.fn.reset();  // free the closure eagerly; the queue entry lazily skips
+  retire(slot);
   return true;
 }
 
 bool Simulator::pop_and_dispatch(SimTime limit) {
-  while (!queue_.empty()) {
-    const Event ev = queue_.top();
-    if (ev.time > limit) return false;
-    queue_.pop();
-    if (cancelled_.erase(ev.id) > 0) continue;  // skip cancelled
-    auto it = handlers_.find(ev.id);
-    assert(it != handlers_.end());
-    EventFn fn = std::move(it->second);
-    handlers_.erase(it);
-    now_ = ev.time;
+  for (;;) {
+    const Candidate c = peek();
+    // A cancelled event may still be a bucket's recorded min; opening
+    // the bucket below drains the stale entry and the loop re-peeks.
+    if (!c.found || c.time > limit) return false;
+    Entry e;
+    if (c.in_wheel) {
+      if (!draining_) {
+        advance_to(c.tick);
+        auto& b = buckets_[tick_ & kWheelMask];
+        std::sort(b.begin(), b.end(), entry_less);
+        draining_ = true;
+        drain_pos_ = 0;
+      }
+      auto& b = buckets_[tick_ & kWheelMask];
+      const bool from_incoming =
+          drain_pos_ == b.size() ||
+          (incoming_pos_ < incoming_.size() &&
+           entry_less(incoming_[incoming_pos_], b[drain_pos_]));
+      e = from_incoming ? incoming_[incoming_pos_++] : b[drain_pos_++];
+      if (drain_pos_ == b.size() && incoming_pos_ == incoming_.size()) {
+        close_bucket();
+      }
+    } else {
+      // Wheel empty and the next event is past the horizon: move the
+      // wheel there so the cluster around it drains through buckets.
+      advance_to(c.tick);
+      continue;
+    }
+    const std::uint32_t slot = slot_of(e.id);
+    Slot& s = slots_[slot];
+    if (!s.armed || s.generation != generation_of(e.id)) {
+      continue;  // cancelled: stale generation
+    }
+    // Move the closure out and recycle the slot *before* invoking, so
+    // the handler can schedule (and reuse the slot) or try to cancel
+    // itself (which correctly reports false: the event already fired).
+    EventFn fn = std::move(s.fn);
+    s.fn.reset();
+    retire(slot);
+    now_ = e.time;
     ++dispatched_;
     fn();
     return true;
   }
-  return false;
 }
 
 std::uint64_t Simulator::run() {
@@ -53,6 +217,13 @@ std::uint64_t Simulator::run_until(SimTime deadline) {
   std::uint64_t n = 0;
   while (pop_and_dispatch(deadline)) ++n;
   if (now_ < deadline) now_ = deadline;
+  // Catch the wheel up to the clock so post-deadline schedules land in
+  // buckets instead of detouring through the overflow heap. Safe: every
+  // pending entry's time exceeds `deadline`, so no occupied bucket is
+  // behind the new position. (If the deadline bucket is still open,
+  // tick_ already equals its tick and no move is needed.)
+  const std::uint64_t tick = tick_of(deadline);
+  if (!draining_ && tick > tick_) advance_to(tick);
   return n;
 }
 

@@ -3,7 +3,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
+#include "common/buffer.h"
 #include "common/fixed_point.h"
 #include "common/result.h"
 #include "common/rng.h"
@@ -175,6 +179,97 @@ TEST(Counter, IncrementsByArbitraryAmounts) {
   c.increment(41);
   EXPECT_EQ(c.value(), 42u);
   EXPECT_EQ(c.name(), "requests");
+}
+
+// --- Buffer / BufferView: zero-copy payload plumbing ---
+
+std::vector<std::uint8_t> iota_bytes(std::size_t n) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<std::uint8_t>(i);
+  return v;
+}
+
+TEST(Buffer, AdoptTakesOwnershipWithoutCopying) {
+  reset_copy_stats();
+  auto bytes = iota_bytes(100);
+  const std::uint8_t* storage = bytes.data();
+  const Buffer::Ptr buf = Buffer::adopt(std::move(bytes));
+  EXPECT_EQ(buf->data(), storage);  // same allocation, no byte moved
+  EXPECT_EQ(buf->size(), 100u);
+  EXPECT_EQ(copy_stats().bytes_copied, 0u);
+}
+
+TEST(Buffer, CopyOfIsCounted) {
+  reset_copy_stats();
+  const auto bytes = iota_bytes(64);
+  const Buffer::Ptr buf = Buffer::copy_of(bytes.data(), bytes.size());
+  EXPECT_EQ(buf->size(), 64u);
+  EXPECT_EQ(copy_stats().bytes_copied, 64u);
+  EXPECT_EQ(copy_stats().copies, 1u);
+}
+
+TEST(BufferView, SliceSharesStorageAndKeepsBufferAlive) {
+  reset_copy_stats();
+  BufferView whole(iota_bytes(100));
+  BufferView mid = whole.slice(10, 30);
+  EXPECT_EQ(mid.size(), 30u);
+  EXPECT_EQ(mid.data(), whole.data() + 10);
+  EXPECT_EQ(mid[0], 10);
+  EXPECT_EQ(mid.back(), 39);
+  EXPECT_EQ(copy_stats().bytes_copied, 0u);
+  EXPECT_GE(copy_stats().bytes_shared, 30u);
+  // Dropping the parent view must not invalidate the slice.
+  whole = BufferView();
+  EXPECT_EQ(mid[5], 15);
+}
+
+TEST(BufferView, VectorCopyConstructorIsCounted) {
+  reset_copy_stats();
+  const auto bytes = iota_bytes(48);
+  BufferView copied(bytes);  // lvalue: must copy
+  EXPECT_EQ(copied.size(), 48u);
+  EXPECT_EQ(copy_stats().bytes_copied, 48u);
+}
+
+TEST(BufferView, EqualityComparesContents) {
+  BufferView a(iota_bytes(16));
+  BufferView b(iota_bytes(16));  // different buffer, same bytes
+  EXPECT_TRUE(a == b);
+  EXPECT_TRUE(a == iota_bytes(16));
+  EXPECT_FALSE(a == a.slice(0, 8));
+}
+
+TEST(Coalesce, ContiguousFragmentsMergeWithoutCopying) {
+  reset_copy_stats();
+  BufferView whole(iota_bytes(100));
+  std::vector<BufferView> frags{whole.slice(0, 40), whole.slice(40, 40),
+                                whole.slice(80, 20)};
+  reset_copy_stats();
+  const BufferView merged = coalesce(frags);
+  EXPECT_EQ(merged.size(), 100u);
+  EXPECT_EQ(merged.data(), whole.data());  // spanning view, same storage
+  EXPECT_EQ(copy_stats().bytes_copied, 0u);
+}
+
+TEST(Coalesce, NonContiguousFragmentsFallBackToOneCopy) {
+  BufferView a(iota_bytes(10));
+  BufferView b(iota_bytes(10));
+  reset_copy_stats();
+  const BufferView merged = coalesce({a, b});
+  EXPECT_EQ(merged.size(), 20u);
+  EXPECT_EQ(copy_stats().bytes_copied, 20u);
+  EXPECT_EQ(merged[0], 0);
+  EXPECT_EQ(merged[10], 0);
+}
+
+TEST(Coalesce, OutOfOrderSlicesOfOneBufferStillCopy) {
+  // Same buffer but wrong order: the spanning-view fast path must not
+  // apply, or the reassembled body would be scrambled.
+  BufferView whole(iota_bytes(20));
+  const BufferView merged = coalesce({whole.slice(10, 10), whole.slice(0, 10)});
+  EXPECT_EQ(merged.size(), 20u);
+  EXPECT_EQ(merged[0], 10);
+  EXPECT_EQ(merged[10], 0);
 }
 
 }  // namespace

@@ -98,7 +98,7 @@ TEST(HostServer, ImageTransformerMatchesReference) {
   rig.send(workloads::kImageId,
            encode_image_request(img.width, img.height, img.rgba), 3);
   rig.sim.run();
-  std::map<std::uint32_t, std::vector<std::uint8_t>> parts;
+  std::map<std::uint32_t, net::BufferView> parts;
   for (const auto& p : rig.responses) parts[p.lambda.frag_index] = p.payload;
   std::vector<std::uint8_t> gray;
   for (auto& [i, b] : parts) {

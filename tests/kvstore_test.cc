@@ -21,11 +21,12 @@ Packet kv_request(NodeId src, NodeId dst, bool is_set, std::uint64_t key,
   p.kind = PacketKind::kKvRequest;
   p.lambda.workload_id = is_set ? 1 : 0;
   p.lambda.request_id = token;
-  p.payload.resize(16);
+  std::vector<std::uint8_t> body(16);
   for (int i = 0; i < 8; ++i) {
-    p.payload[i] = static_cast<std::uint8_t>(key >> (8 * i));
-    p.payload[8 + i] = static_cast<std::uint8_t>(value >> (8 * i));
+    body[i] = static_cast<std::uint8_t>(key >> (8 * i));
+    body[8 + i] = static_cast<std::uint8_t>(value >> (8 * i));
   }
+  p.payload = std::move(body);
   return p;
 }
 

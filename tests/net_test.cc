@@ -16,7 +16,7 @@ Packet make_packet(NodeId src, NodeId dst, Bytes payload_size) {
   Packet p;
   p.src = src;
   p.dst = dst;
-  p.payload.assign(payload_size, 0xAB);
+  p.payload = std::vector<std::uint8_t>(payload_size, 0xAB);
   return p;
 }
 

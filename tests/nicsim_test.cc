@@ -108,7 +108,7 @@ TEST(SmartNic, ImageArrivesViaRdmaAndTransforms) {
   rig.sim.run();
   // The grayscale response spans multiple fragments; reassemble.
   std::vector<std::uint8_t> gray;
-  std::map<std::uint32_t, std::vector<std::uint8_t>> parts;
+  std::map<std::uint32_t, net::BufferView> parts;
   for (const auto& p : rig.responses) {
     parts[p.lambda.frag_index] = p.payload;
   }
@@ -130,7 +130,7 @@ TEST(SmartNic, RdmaReassemblyToleratesReordering) {
            encode_image_request(img.width, img.height, img.rgba), 5,
            PacketKind::kRdmaWrite);
   rig.sim.run();
-  std::map<std::uint32_t, std::vector<std::uint8_t>> parts;
+  std::map<std::uint32_t, net::BufferView> parts;
   for (const auto& p : rig.responses) parts[p.lambda.frag_index] = p.payload;
   std::vector<std::uint8_t> gray;
   for (auto& [idx, bytes] : parts) {

@@ -2,6 +2,9 @@
 // the ServerPool resource, and determinism properties.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -160,6 +163,258 @@ INSTANTIATE_TEST_SUITE_P(
     Shapes, PoolMakespanTest,
     ::testing::Combine(::testing::Values(1, 2, 7, 56),
                        ::testing::Values(1, 8, 100)));
+
+// --- Engine edge cases: arena recycling, cancellation corners, wheel ---
+
+TEST(Simulator, CancelInsideRunningHandler) {
+  Simulator sim;
+  bool victim_ran = false;
+  const EventId victim = sim.schedule(20, [&] { victim_ran = true; });
+  sim.schedule(10, [&] { EXPECT_TRUE(sim.cancel(victim)); });
+  sim.run();
+  EXPECT_FALSE(victim_ran);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, CancelAfterFireReturnsFalse) {
+  Simulator sim;
+  const EventId id = sim.schedule(5, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, SelfCancelInsideHandlerReturnsFalse) {
+  // The slot is retired before the closure runs, so an event that tries
+  // to cancel itself learns (correctly) that it already fired.
+  Simulator sim;
+  EventId self = kInvalidEvent;
+  bool cancel_result = true;
+  self = sim.schedule(5, [&] { cancel_result = sim.cancel(self); });
+  sim.run();
+  EXPECT_FALSE(cancel_result);
+}
+
+TEST(Simulator, SlotRecyclingKeepsArenaSmall) {
+  // Schedule/dispatch churn far larger than the in-flight set must not
+  // grow the arena: freed slots are recycled through the free list.
+  Simulator sim;
+  int live = 0;
+  for (int round = 0; round < 1000; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      sim.schedule(i, [&] { ++live; });
+    }
+    sim.run();
+  }
+  EXPECT_EQ(live, 8000);
+  EXPECT_LE(sim.arena_slots(), 8u);
+}
+
+TEST(Simulator, StaleIdCannotCancelRecycledSlot) {
+  // After an event fires, its slot is reused by a new event; the old
+  // EventId carries a stale generation and must not cancel the newcomer.
+  Simulator sim;
+  const EventId old_id = sim.schedule(1, [] {});
+  sim.run();
+  bool ran = false;
+  const EventId new_id = sim.schedule(1, [&] { ran = true; });
+  // Same slot, different generation.
+  EXPECT_EQ(old_id >> 32, new_id >> 32);
+  EXPECT_NE(old_id, new_id);
+  EXPECT_FALSE(sim.cancel(old_id));
+  sim.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, PendingTracksLiveEventsExactly) {
+  Simulator sim;
+  EXPECT_EQ(sim.pending(), 0u);
+  const EventId a = sim.schedule(10, [] {});
+  sim.schedule(20, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending(), 1u);  // cancelled events leave immediately
+  sim.step();
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, RunUntilIncludesEventAtExactDeadline) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule(100, [&] { ++count; });
+  sim.schedule(101, [&] { ++count; });
+  EXPECT_EQ(sim.run_until(100), 1u);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(Simulator, FarFutureEventsCrossWheelHorizon) {
+  // Events beyond the wheel horizon (~8.4 ms) park in the overflow heap
+  // and must still fire in exact (time, seq) order as time advances.
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(seconds(10), [&] { order.push_back(3); });
+  sim.schedule(milliseconds(100), [&] { order.push_back(2); });
+  sim.schedule(microseconds(5), [&] { order.push_back(1); });
+  sim.schedule(seconds(10), [&] { order.push_back(4); });  // FIFO tie
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(sim.now(), seconds(10));
+}
+
+TEST(Simulator, ScheduleAfterLongIdleRunUntil) {
+  // run_until far past all events re-bases the wheel; later schedules
+  // (relative to the new now()) must land correctly.
+  Simulator sim;
+  int count = 0;
+  sim.schedule(10, [&] { ++count; });
+  sim.run_until(seconds(60));
+  EXPECT_EQ(sim.now(), seconds(60));
+  sim.schedule(5, [&] { ++count; });
+  sim.schedule(seconds(30), [&] { ++count; });
+  sim.run();
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sim.now(), seconds(90));
+}
+
+TEST(Simulator, DrainedRunThenFarTimerCancelledThenNearSchedule) {
+  // Regression for the wheel-rebase path: run() drains everything, the
+  // only surviving structure state points far ahead, then a cancel
+  // empties it and a near-term schedule must re-base cleanly.
+  Simulator sim;
+  sim.schedule(1, [] {});
+  const EventId far = sim.schedule(seconds(5), [] {});
+  sim.run_until(10);
+  EXPECT_TRUE(sim.cancel(far));
+  sim.run();  // drains the cancelled stale entry, wheel may sit ahead
+  bool ran = false;
+  sim.schedule(1, [&] { ran = true; });
+  sim.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.now(), 11);
+}
+
+TEST(Simulator, HandlerSchedulingZeroDelayPreservesFifo) {
+  // Zero-delay schedules from inside a handler land in the tick being
+  // drained and must interleave in exact (time, seq) order.
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(10, [&] {
+    order.push_back(0);
+    sim.schedule(0, [&] { order.push_back(2); });
+  });
+  sim.schedule(10, [&] { order.push_back(1); });
+  sim.schedule(11, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Simulator, ChurnAcrossGenerationsStaysCorrect) {
+  // Heavy schedule/cancel churn on a small slot set exercises generation
+  // wraparound-adjacent logic: no stale id may ever cancel a live event.
+  Simulator sim;
+  int fired = 0;
+  std::vector<EventId> history;
+  for (int round = 0; round < 500; ++round) {
+    const EventId keep = sim.schedule(1, [&] { ++fired; });
+    const EventId drop = sim.schedule(2, [] { FAIL(); });
+    EXPECT_TRUE(sim.cancel(drop));
+    for (const EventId stale : history) EXPECT_FALSE(sim.cancel(stale));
+    history.clear();
+    history.push_back(keep);
+    history.push_back(drop);
+    sim.run();
+  }
+  EXPECT_EQ(fired, 500);
+  EXPECT_LE(sim.arena_slots(), 2u);
+}
+
+TEST(PeriodicTimer, DestructorCancelsPendingCallback) {
+  // Regression: a started timer going out of scope used to leave its
+  // rearm closure queued with a dangling `this`. The destructor must
+  // stop() so the simulator never fires into a dead timer.
+  Simulator sim;
+  int fires = 0;
+  {
+    PeriodicTimer timer(sim, 100, [&] { ++fires; });
+    timer.start();
+    sim.run_until(250);
+    EXPECT_EQ(fires, 2);
+  }  // destroyed while armed
+  EXPECT_EQ(sim.pending(), 0u);
+  sim.run_until(seconds(1));  // would crash / fire into freed memory
+  EXPECT_EQ(fires, 2);
+}
+
+// --- InlineFn: the engine's small-buffer callable ---
+
+TEST(InlineFn, InvokesInlineCapture) {
+  int hits = 0;
+  InlineFn<128> fn([&hits] { ++hits; });
+  EXPECT_TRUE(static_cast<bool>(fn));
+  fn();
+  fn();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFn, MoveTransfersOwnership) {
+  int hits = 0;
+  InlineFn<128> a([&hits] { ++hits; });
+  InlineFn<128> b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));
+  b();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineFn, HoldsMoveOnlyCapture) {
+  auto owned = std::make_unique<int>(41);
+  InlineFn<128> fn([p = std::move(owned)] { ++*p; });
+  fn();
+  InlineFn<128> moved(std::move(fn));
+  moved();
+}
+
+TEST(InlineFn, HeapFallbackForOversizedCapture) {
+  struct Big {
+    std::uint64_t words[64] = {};  // 512 bytes > Capacity
+  };
+  Big big;
+  big.words[0] = 7;
+  std::uint64_t seen = 0;
+  InlineFn<128> fn([big, &seen] { seen = big.words[0]; });
+  InlineFn<128> moved(std::move(fn));
+  moved();
+  EXPECT_EQ(seen, 7u);
+}
+
+TEST(InlineFn, AssignReplacesHeldCallable) {
+  int first = 0, second = 0;
+  InlineFn<128> fn([&first] { ++first; });
+  fn();
+  fn.assign([&second] { ++second; });
+  fn();
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(InlineFn, DestroysCaptureExactlyOnce) {
+  struct Probe {
+    int* count;
+    explicit Probe(int* c) : count(c) {}
+    Probe(Probe&& o) noexcept : count(o.count) { o.count = nullptr; }
+    Probe(const Probe&) = delete;
+    ~Probe() {
+      if (count != nullptr) ++*count;
+    }
+    void operator()() {}
+  };
+  int destroyed = 0;
+  {
+    InlineFn<128> fn{Probe(&destroyed)};
+    InlineFn<128> moved(std::move(fn));
+    moved();
+  }
+  EXPECT_EQ(destroyed, 1);
+}
 
 }  // namespace
 }  // namespace lnic::sim

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_perf_*.json file from the wall-clock perf suite.
+
+Usage: check_perf.py <BENCH_perf_engine.json | BENCH_perf_datapath.json>
+
+Checks the JSON schema (bench name, seed, metric list with name/value/
+unit) and bench-specific invariants:
+
+- perf_engine: all four mixes present; deterministic dispatch counters
+  match the configured run shape; events/sec above a *loose* floor —
+  this guards against 10x regressions (an accidental O(log n) or
+  per-event allocation creeping back), not machine-to-machine noise.
+- perf_datapath: the fragmented-RPC scenario must copy ZERO payload
+  bytes (the whole point of the buffer layer) and share a nonzero
+  number; the cluster scenario likewise copies nothing.
+
+Exit code 0 on success.
+"""
+import json
+import sys
+
+# Deliberately ~10-30x below rates seen on a developer machine: CI boxes
+# are slow and shared, and this floor only exists to catch order-of-
+# magnitude regressions.
+ENGINE_FLOORS_EPS = {
+    "dispatch": 1_000_000,
+    "cancel_mix": 800_000,
+    "backlog": 150_000,
+    "nested": 1_000_000,
+}
+
+
+def fail(message):
+    print(f"check_perf: FAIL: {message}")
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"cannot parse {path}: {err}")
+    for key in ("bench", "seed", "metrics"):
+        if key not in doc:
+            fail(f"missing top-level key '{key}'")
+    if not isinstance(doc["metrics"], list) or not doc["metrics"]:
+        fail("'metrics' must be a non-empty list")
+    for m in doc["metrics"]:
+        for key in ("name", "value", "unit"):
+            if key not in m:
+                fail(f"metric entry missing '{key}': {m}")
+        if not isinstance(m["value"], (int, float)):
+            fail(f"metric '{m['name']}' value is not numeric")
+    return doc
+
+
+def metrics_by_name(doc):
+    return {m["name"]: m["value"] for m in doc["metrics"]}
+
+
+def check_engine(doc):
+    got = metrics_by_name(doc)
+    for mix, floor in ENGINE_FLOORS_EPS.items():
+        rate_key = f"{mix}_events_per_sec"
+        if rate_key not in got:
+            fail(f"perf_engine missing metric '{rate_key}'")
+        if got[rate_key] < floor:
+            fail(
+                f"{rate_key} = {got[rate_key]:.0f} below loose floor "
+                f"{floor} (order-of-magnitude regression?)"
+            )
+        for suffix in ("_dispatched", "_arena_slots"):
+            if mix + suffix not in got:
+                fail(f"perf_engine missing metric '{mix + suffix}'")
+        if got[f"{mix}_dispatched"] <= 0:
+            fail(f"{mix}_dispatched is zero — mix did not run")
+    print("check_perf: OK perf_engine "
+          + ", ".join(f"{m}={got[m + '_events_per_sec']:.0f}/s"
+                      for m in ENGINE_FLOORS_EPS))
+
+
+def check_datapath(doc):
+    got = metrics_by_name(doc)
+    for scenario in ("rpc", "cluster"):
+        for suffix in ("_bytes_copied", "_bytes_shared", "_packets"):
+            key = scenario + suffix
+            if key not in got:
+                fail(f"perf_datapath missing metric '{key}'")
+        if got[f"{scenario}_bytes_copied"] != 0:
+            fail(
+                f"{scenario}_bytes_copied = "
+                f"{got[scenario + '_bytes_copied']:.0f}; the datapath "
+                "must be zero-copy"
+            )
+        if got[f"{scenario}_bytes_shared"] <= 0:
+            fail(f"{scenario}_bytes_shared is zero — no payload moved")
+        if got[f"{scenario}_packets"] <= 0:
+            fail(f"{scenario}_packets is zero — scenario did not run")
+    print("check_perf: OK perf_datapath "
+          f"rpc shared {got['rpc_bytes_shared']:.0f} B copied 0, "
+          f"cluster shared {got['cluster_bytes_shared']:.0f} B copied 0")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__)
+        sys.exit(2)
+    doc = load(sys.argv[1])
+    if doc["bench"] == "perf_engine":
+        check_engine(doc)
+    elif doc["bench"] == "perf_datapath":
+        check_datapath(doc)
+    else:
+        fail(f"unknown bench '{doc['bench']}'")
+
+
+if __name__ == "__main__":
+    main()
