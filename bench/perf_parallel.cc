@@ -1,0 +1,183 @@
+// Wall-clock throughput of the sharded engine: aggregate events/sec vs
+// shard count on the cluster mix.
+//
+// The workload is K self-contained λ-NIC islands (SmartNIC worker + kv
+// cache + closed-loop RPC client, all pinned to one shard) with ~1/8 of
+// requests aimed at the next island's NIC, so the run exercises both the
+// embarrassingly parallel case (island-local traffic) and the
+// conservative-sync machinery (cross-shard uplink/downlink split,
+// (time, global-seq) mailbox, window barriers).
+//
+// Link propagation is raised to 25 us: the lookahead — and with it the
+// barrier window — is the physical link delay, and a rack-scale
+// simulation amortizes each barrier over hundreds of events. The
+// simulated *result* (per-request latencies, completion counts) is
+// deterministic per shard count; only the wall-clock rates vary by
+// machine. hw_threads is recorded so tools/check_perf.py enforces the
+// 4-shard speedup floor only where 4 cores actually exist.
+//
+// Usage: perf_parallel [--smoke]
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "sim/sharded.h"
+
+namespace lnic::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kIslands = 8;
+
+struct Island {
+  std::unique_ptr<backends::Backend> nic;
+  std::unique_ptr<kvstore::CacheServer> cache;
+  std::unique_ptr<proto::RpcClient> client;
+  NodeId peer = kInvalidNode;  // next island's NIC, for cross traffic
+  std::uint64_t issued = 0;
+  std::uint64_t completed = 0;
+  std::function<void()> issue;
+};
+
+struct SweepPoint {
+  double events_per_sec = 0.0;
+  std::uint64_t dispatched = 0;      // measurement window only
+  std::uint64_t completed = 0;       // deterministic per shard count
+  std::uint64_t cross_posts = 0;
+  std::uint64_t windows = 0;
+};
+
+SweepPoint run_point(unsigned shards, std::uint64_t requests_per_island,
+                     std::uint32_t concurrency) {
+  sim::ShardedSimulator sharded(shards);
+  net::LinkConfig link;
+  link.propagation = microseconds(25);  // lookahead == barrier window
+  net::Network network(sharded, link);
+
+  std::vector<Island> islands(kIslands);
+  for (std::size_t i = 0; i < kIslands; ++i) {
+    const unsigned shard = static_cast<unsigned>(i % sharded.shards());
+    sim::Simulator& sim = sharded.shard(shard);
+    network.set_attach_shard(shard);
+    Island& island = islands[i];
+    island.nic = backends::make_backend(backends::BackendKind::kLambdaNic,
+                                        sim, network);
+    island.cache = std::make_unique<kvstore::CacheServer>(sim, network);
+    island.nic->set_kv_server(island.cache->node());
+    proto::RpcConfig rpc;
+    rpc.retransmit_timeout = seconds(60);
+    island.client = std::make_unique<proto::RpcClient>(sim, network, rpc);
+    if (!island.nic->deploy(workloads::make_standard_workloads()).ok()) {
+      std::fprintf(stderr, "perf_parallel: deploy failed\n");
+      return {};
+    }
+  }
+  network.set_attach_shard(0);
+  for (std::size_t i = 0; i < kIslands; ++i) {
+    islands[i].peer = islands[(i + 1) % kIslands].nic->node();
+  }
+  sharded.run_until(seconds(20));  // firmware flash
+
+  // Closed loop per island; every callback runs on the island's shard
+  // and touches only island-local state.
+  for (Island& island : islands) {
+    Island* self = &island;
+    self->issue = [self, requests_per_island]() {
+      if (self->issued >= requests_per_island) return;
+      const std::uint64_t i = self->issued++;
+      const NodeId target =
+          (i % 8 == 7) ? self->peer : self->nic->node();
+      self->client->call(target, workloads::kWebServerId,
+                         workloads::encode_web_request(i & 3),
+                         [self](Result<proto::RpcResponse> result) {
+                           if (result.ok()) ++self->completed;
+                           self->issue();
+                         });
+    };
+    for (std::uint32_t c = 0; c < concurrency; ++c) self->issue();
+  }
+
+  const std::uint64_t before = sharded.events_dispatched();
+  const auto t0 = Clock::now();
+  sharded.run();
+  const double secs =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  SweepPoint point;
+  point.dispatched = sharded.events_dispatched() - before;
+  point.events_per_sec =
+      secs > 0 ? static_cast<double>(point.dispatched) / secs : 0.0;
+  for (const Island& island : islands) point.completed += island.completed;
+  point.cross_posts = sharded.cross_shard_posts();
+  point.windows = sharded.windows_executed();
+  return point;
+}
+
+int run(std::uint64_t requests_per_island, std::uint32_t concurrency,
+        const std::vector<unsigned>& sweep) {
+  print_header("Perf: sharded engine, events/sec vs shard count");
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("  %zu nic islands, %llu requests each, %u-way closed loop, "
+              "%u hw thread(s)\n\n",
+              kIslands,
+              static_cast<unsigned long long>(requests_per_island),
+              concurrency, hw);
+  std::printf("  %8s %16s %14s %12s %12s %10s\n", "shards", "events/sec",
+              "dispatched", "completed", "x-posts", "windows");
+
+  BenchSummary out("perf_parallel", /*seed=*/1, sweep.back());
+  out.add("hw_threads", static_cast<double>(hw), "threads");
+  out.add("islands", static_cast<double>(kIslands), "count");
+
+  double base_rate = 0.0;
+  double rate_at_4 = 0.0;
+  for (const unsigned shards : sweep) {
+    const SweepPoint p = run_point(shards, requests_per_island, concurrency);
+    std::printf("  %8u %16.0f %14llu %12llu %12llu %10llu\n", shards,
+                p.events_per_sec,
+                static_cast<unsigned long long>(p.dispatched),
+                static_cast<unsigned long long>(p.completed),
+                static_cast<unsigned long long>(p.cross_posts),
+                static_cast<unsigned long long>(p.windows));
+    const std::string cell = "shards" + std::to_string(shards);
+    out.add(cell + "_events_per_sec", p.events_per_sec, "events/s");
+    out.add(cell + "_dispatched", static_cast<double>(p.dispatched),
+            "events");
+    out.add(cell + "_completed", static_cast<double>(p.completed),
+            "requests");
+    out.add(cell + "_cross_posts", static_cast<double>(p.cross_posts),
+            "events");
+    if (shards == 1) base_rate = p.events_per_sec;
+    if (shards == 4) rate_at_4 = p.events_per_sec;
+  }
+  if (base_rate > 0 && rate_at_4 > 0) {
+    const double speedup = rate_at_4 / base_rate;
+    std::printf("\n  4-shard speedup over 1 shard: %.2fx%s\n", speedup,
+                hw < 4 ? " (machine has <4 hw threads; not meaningful)"
+                       : "");
+    out.add("speedup_4x", speedup, "ratio");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace lnic::bench
+
+int main(int argc, char** argv) {
+  std::uint64_t requests = 20'000;
+  std::vector<unsigned> sweep = {1, 2, 4, 8};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      requests = 2'000;
+      sweep = {1, 2, 4};
+    }
+  }
+  return lnic::bench::run(requests, /*concurrency=*/16, sweep);
+}

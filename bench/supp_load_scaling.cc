@@ -4,16 +4,114 @@
 // threads keep latency flat until the 10 G wire saturates; the host
 // backends saturate at the GIL (bare metal) or the watchdog (container)
 // almost immediately, and queueing inflates their tails.
+//
+// A second section scales out instead of up: a rack of 400 λ-NIC
+// workers — 100x the paper's 4-worker testbed — behind one gateway,
+// driven open-loop by loadgen:: Poisson arrivals, with the workers
+// spread across event shards (sim/sharded.h). Usage:
+//   supp_load_scaling [--smoke] [--shards N]
 #include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
 
 #include "bench/harness.h"
+#include "framework/gateway.h"
+#include "loadgen/generator.h"
 
 using namespace lnic;
 using namespace lnic::bench;
 
-int main() {
+namespace {
+
+/// 100x-scale rack: `workers` λ-NIC nodes round-robined across shards
+/// 1..N-1 (gateway, cache and the generator on shard 0), Poisson
+/// open-loop arrivals at `rate_rps` for `window`.
+void run_scale_section(BenchSummary& summary, unsigned shards,
+                       std::size_t workers, double rate_rps,
+                       SimDuration window) {
+  sim::ShardedSimulator sharded(shards);
+  sim::Simulator& sim0 = sharded.shard(0);
+  net::Network network(sharded);
+  kvstore::CacheServer cache(sim0, network);
+
+  std::vector<std::unique_ptr<backends::Backend>> pool;
+  std::vector<NodeId> nodes;
+  const unsigned worker_shards =
+      sharded.shards() > 1 ? sharded.shards() - 1 : 1;
+  for (std::size_t i = 0; i < workers; ++i) {
+    const unsigned shard =
+        sharded.shards() > 1 ? 1 + static_cast<unsigned>(i % worker_shards)
+                             : 0;
+    network.set_attach_shard(shard);
+    pool.push_back(backends::make_backend(backends::BackendKind::kLambdaNic,
+                                          sharded.shard(shard), network));
+    pool.back()->set_kv_server(cache.node());
+    if (!pool.back()->deploy(workloads::make_standard_workloads()).ok()) {
+      std::fprintf(stderr, "scale section: deploy failed\n");
+      return;
+    }
+    nodes.push_back(pool.back()->node());
+  }
+  network.set_attach_shard(0);
+  sharded.run_until(seconds(40));  // firmware flash across the rack
+
+  framework::GatewayConfig config;
+  config.rpc.retransmit_timeout = seconds(600);  // queueing, not loss
+  framework::Gateway gateway(sim0, network, config);
+  gateway.register_function(loadgen::function_name(0),
+                            workloads::kWebServerId, nodes);
+
+  loadgen::LoadGenConfig lg;
+  lg.arrivals = loadgen::ArrivalSpec::poisson(rate_rps);
+  lg.duration = window;
+  lg.seed = 17;
+  lg.slo.deadline = milliseconds(2);
+  loadgen::LoadGenerator generator(
+      sim0, lg, loadgen::uniform_functions(1),
+      loadgen::gateway_sink(gateway, [](const loadgen::Request& request) {
+        return workloads::encode_web_request(request.id & 3);
+      }));
+
+  const SimTime start = sim0.now();
+  generator.start();
+  sharded.run_until(start + window);
+  generator.stop();
+  sharded.run();  // drain so every offered request is accounted
+
+  const loadgen::SloReport report = generator.slo().report(window);
+  std::printf("\n-- rack scale: %zu x nic workers, %u shard(s) --\n",
+              workers, sharded.shards());
+  std::printf("  offered %8llu (%8.0f rps)  goodput %8.0f rps\n"
+              "  p50 %8.3f ms  p99 %8.3f ms  deadline misses %.2f%%\n"
+              "  events %llu  cross-shard posts %llu  windows %llu\n",
+              static_cast<unsigned long long>(report.offered),
+              report.offered_rps, report.goodput_rps, report.p50_ms,
+              report.p99_ms, report.violation_fraction * 100.0,
+              static_cast<unsigned long long>(sharded.events_dispatched()),
+              static_cast<unsigned long long>(sharded.cross_shard_posts()),
+              static_cast<unsigned long long>(sharded.windows_executed()));
+  summary.add("scale/workers", static_cast<double>(workers), "count");
+  summary.add("scale/offered", static_cast<double>(report.offered), "count");
+  summary.add("scale/goodput", report.goodput_rps, "rps");
+  summary.add("scale/p50", report.p50_ms, "ms");
+  summary.add("scale/p99", report.p99_ms, "ms");
+  summary.add("scale/violation_frac", report.violation_fraction, "fraction");
+  summary.add("scale/cross_shard_posts",
+              static_cast<double>(sharded.cross_shard_posts()), "count");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const unsigned shards = shards_from_args(argc, argv);
+
   print_header("Supplementary: load scaling, web server");
-  BenchSummary summary("supp_load_scaling");
+  BenchSummary summary("supp_load_scaling", /*seed=*/1, shards);
 
   const backends::BackendKind kinds[] = {
       backends::BackendKind::kLambdaNic, backends::BackendKind::kBareMetal,
@@ -24,7 +122,7 @@ int main() {
     std::printf("\n-- %s --\n", backends::to_string(kind));
     std::printf("  %10s %14s %14s\n", "senders", "req/s", "p99 (ms)");
     for (const auto c : concurrencies) {
-      BackendRig rig(kind, /*worker_threads=*/56);
+      BackendRig rig(kind, /*worker_threads=*/56, shards);
       WorkloadCase test{
           "web", workloads::kWebServerId,
           [](std::uint64_t i) { return workloads::encode_web_request(i & 3); },
@@ -46,5 +144,11 @@ int main() {
   std::printf("\n  λ-NIC latency stays flat while throughput scales to the\n"
               "  gateway/wire limit; host backends saturate within a few\n"
               "  senders and queueing inflates their tails linearly.\n");
+
+  // 100x today's 4-worker cluster (40x under --smoke, for CI).
+  run_scale_section(summary, shards,
+                    /*workers=*/smoke ? 40 : 400,
+                    /*rate_rps=*/smoke ? 50'000.0 : 200'000.0,
+                    /*window=*/smoke ? milliseconds(20) : milliseconds(50));
   return 0;
 }

@@ -1,25 +1,48 @@
 #include "common/buffer.h"
 
+#include <atomic>
 #include <cstring>
 
 namespace lnic {
 
 namespace {
-CopyStats g_copy_stats;
+// Relaxed atomics: counters are monotone tallies with no ordering
+// relationship to any other state, and the hot path must stay one
+// uncontended add per operation.
+struct AtomicCopyStats {
+  std::atomic<std::uint64_t> bytes_copied{0};
+  std::atomic<std::uint64_t> copies{0};
+  std::atomic<std::uint64_t> bytes_shared{0};
+  std::atomic<std::uint64_t> shares{0};
+};
+AtomicCopyStats g_copy_stats;
 
 void count_copy(std::size_t bytes) {
-  g_copy_stats.bytes_copied += bytes;
-  ++g_copy_stats.copies;
+  g_copy_stats.bytes_copied.fetch_add(bytes, std::memory_order_relaxed);
+  g_copy_stats.copies.fetch_add(1, std::memory_order_relaxed);
 }
 
 void count_share(std::size_t bytes) {
-  g_copy_stats.bytes_shared += bytes;
-  ++g_copy_stats.shares;
+  g_copy_stats.bytes_shared.fetch_add(bytes, std::memory_order_relaxed);
+  g_copy_stats.shares.fetch_add(1, std::memory_order_relaxed);
 }
 }  // namespace
 
-CopyStats& copy_stats() { return g_copy_stats; }
-void reset_copy_stats() { g_copy_stats = CopyStats{}; }
+CopyStats copy_stats() {
+  CopyStats s;
+  s.bytes_copied = g_copy_stats.bytes_copied.load(std::memory_order_relaxed);
+  s.copies = g_copy_stats.copies.load(std::memory_order_relaxed);
+  s.bytes_shared = g_copy_stats.bytes_shared.load(std::memory_order_relaxed);
+  s.shares = g_copy_stats.shares.load(std::memory_order_relaxed);
+  return s;
+}
+
+void reset_copy_stats() {
+  g_copy_stats.bytes_copied.store(0, std::memory_order_relaxed);
+  g_copy_stats.copies.store(0, std::memory_order_relaxed);
+  g_copy_stats.bytes_shared.store(0, std::memory_order_relaxed);
+  g_copy_stats.shares.store(0, std::memory_order_relaxed);
+}
 
 Buffer::Ptr Buffer::adopt(std::vector<std::uint8_t> bytes) {
   return std::make_shared<const Buffer>(AdoptTag{}, std::move(bytes));

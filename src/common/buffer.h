@@ -35,7 +35,8 @@
 namespace lnic {
 
 /// Global accounting of payload bytes moved through the buffer API.
-/// Single-threaded (like the simulator); reset between bench scenarios.
+/// Internally accumulated with relaxed atomics so shards sharing payload
+/// views never race; reset between bench scenarios (single-threaded).
 struct CopyStats {
   std::uint64_t bytes_copied = 0;  // bytes physically memcpy'd
   std::uint64_t copies = 0;        // copy operations
@@ -43,7 +44,9 @@ struct CopyStats {
   std::uint64_t shares = 0;        // zero-copy handoffs
 };
 
-CopyStats& copy_stats();
+/// A consistent-enough snapshot of the global accounting. (Buffer
+/// refcounts are shared_ptr control blocks and already atomic.)
+CopyStats copy_stats();
 void reset_copy_stats();
 
 /// Immutable refcounted byte array. Create via adopt() (takes ownership

@@ -10,30 +10,53 @@ std::vector<backends::BackendKind> ClusterConfig::effective_worker_kinds()
 
 Cluster::Cluster(ClusterConfig config)
     : config_(config),
-      network_(sim_, config.link, config.faults, config.seed),
+      sharded_(config.shards),
+      network_(sharded_, config.link, config.faults, config.seed),
       storage_(backends::kMgmtBandwidthBps) {
-  gateway_ = std::make_unique<framework::Gateway>(sim_, network_,
+  // The master stack — gateway, cache, etcd, manager — shares shard 0;
+  // its components call each other synchronously and must never be split.
+  sim::Simulator& sim0 = sharded_.shard(0);
+  gateway_ = std::make_unique<framework::Gateway>(sim0, network_,
                                                   config.gateway);
-  cache_ = std::make_unique<kvstore::CacheServer>(sim_, network_);
+  cache_ = std::make_unique<kvstore::CacheServer>(sim0, network_);
   if (config.with_etcd) {
-    etcd_ = std::make_unique<kvstore::EtcdStore>(sim_, config.etcd_nodes);
+    etcd_ = std::make_unique<kvstore::EtcdStore>(sim0, config.etcd_nodes);
     etcd_->start();
   }
-  manager_ = std::make_unique<framework::WorkloadManager>(sim_, storage_,
+  manager_ = std::make_unique<framework::WorkloadManager>(sim0, storage_,
                                                           etcd_.get());
-  for (backends::BackendKind kind : config.effective_worker_kinds()) {
-    workers_.push_back(backends::make_backend(kind, sim_, network_,
+  // Workers round-robin across shards 1..N-1: each island's NIC/host
+  // state lives (and its events run) wholly on its shard; only packets
+  // cross shard boundaries.
+  const auto kinds = config.effective_worker_kinds();
+  const unsigned worker_shards =
+      sharded_.shards() > 1 ? sharded_.shards() - 1 : 1;
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    const unsigned shard =
+        sharded_.shards() > 1
+            ? 1 + static_cast<unsigned>(i % worker_shards)
+            : 0;
+    network_.set_attach_shard(shard);
+    workers_.push_back(backends::make_backend(kinds[i],
+                                              sharded_.shard(shard), network_,
                                               config.worker_threads));
     workers_.back()->set_kv_server(cache_->node());
   }
+  network_.set_attach_shard(0);
   if (etcd_) gateway_->sync_with(*etcd_);
 }
 
 Result<framework::DeploymentRecord> Cluster::deploy(
     workloads::WorkloadBundle bundle) {
+  if (auto lookahead = sharded_.validate_lookahead(); !lookahead.ok()) {
+    return lookahead.error();
+  }
   // Let the etcd cluster elect a leader so route mirroring succeeds.
-  if (etcd_) sim_.run_until(sim_.now() + seconds(2));
+  if (etcd_) sharded_.run_until(sharded_.now() + seconds(2));
 
+  // The manager's deploy path is synchronous direct calls into the
+  // backends — safe to cross shards here because no window is running:
+  // the coordinator thread owns every shard between runs.
   std::vector<backends::Backend*> pool;
   pool.reserve(workers_.size());
   for (auto& worker : workers_) pool.push_back(worker.get());
@@ -46,7 +69,7 @@ Result<framework::DeploymentRecord> Cluster::deploy(
 }
 
 void Cluster::wait_until_ready() {
-  sim_.run_until(std::max(ready_at_, sim_.now()) + milliseconds(1));
+  sharded_.run_until(std::max(ready_at_, sharded_.now()) + milliseconds(1));
 }
 
 void Cluster::invoke(const std::string& name,
@@ -62,12 +85,13 @@ Result<proto::RpcResponse> Cluster::invoke_and_wait(
                    [&slot](Result<proto::RpcResponse> r) {
                      slot = std::move(r);
                    });
-  // Step (rather than run) because etcd's Raft timers keep the queue
-  // non-empty forever; bound by a generous deadline so a lost response
-  // cannot hang the caller.
-  const SimTime deadline = sim_.now() + seconds(300);
-  while (!slot.has_value() && sim_.now() < deadline && sim_.step()) {
-  }
+  // Run with a completion predicate (rather than to drain) because
+  // etcd's Raft timers keep the queue non-empty forever; bound by a
+  // generous deadline so a lost response cannot hang the caller. On one
+  // shard this steps the classic engine; on many it advances window by
+  // window, checking the slot at each barrier.
+  const SimTime deadline = sharded_.now() + seconds(300);
+  sharded_.run_until(deadline, [&slot] { return slot.has_value(); });
   if (!slot.has_value()) {
     return make_error("cluster: no response before deadline");
   }

@@ -8,7 +8,8 @@ using net::PacketKind;
 CacheServer::CacheServer(sim::Simulator& sim, net::Network& network,
                          CacheConfig config)
     : sim_(sim), network_(network), config_(config) {
-  node_ = network_.attach([this](const Packet& p) { handle_packet(p); });
+  node_ = network_.attach([this](const Packet& p) { handle_packet(p); },
+                          &sim_);
 }
 
 void CacheServer::put(std::uint64_t key, std::uint64_t value) {

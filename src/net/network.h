@@ -11,16 +11,29 @@
 //
 // A FaultInjector can drop or delay (reorder) packets, used by transport
 // and Raft property tests.
+//
+// Sharded mode: constructed over a ShardedSimulator, the network routes
+// each send to the destination node's shard. The sender's shard computes
+// uplink serialization (it owns the source port), then posts a remote
+// event at the packet's switch-arrival time; the destination shard
+// applies downlink queueing and delivery (it owns the destination port).
+// The minimum cross-shard latency — link propagation + switch forwarding
+// — is registered as the simulator's lookahead, making the physical link
+// delay the conservative-sync contract. With one shard the classic
+// synchronous path runs unchanged, byte-for-byte.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/types.h"
 #include "net/packet.h"
 #include "net/trace.h"
+#include "sim/sharded.h"
 #include "sim/simulator.h"
 
 namespace lnic::net {
@@ -44,14 +57,36 @@ class Network {
   Network(sim::Simulator& sim, LinkConfig link = {}, FaultConfig faults = {},
           std::uint64_t seed = 1);
 
+  /// Sharded fabric: nodes attach to the shard selected by
+  /// set_attach_shard() and sends route to the destination's shard.
+  /// Registers propagation + switch latency as the simulator's lookahead.
+  Network(sim::ShardedSimulator& sharded, LinkConfig link = {},
+          FaultConfig faults = {}, std::uint64_t seed = 1);
+
+  /// Selects the shard that subsequently attached nodes live on (sharded
+  /// mode only; ignored otherwise). A node's handler runs on its shard's
+  /// thread, and all of its simulator state must live there too.
+  void set_attach_shard(unsigned shard);
+
   /// Registers a node; the returned NodeId addresses it in Packet::dst.
-  NodeId attach(PacketHandler handler);
+  /// `owner` (optional) is the simulator the node schedules on; in
+  /// sharded mode it must be the current attach shard's engine — passing
+  /// it lets the fabric catch node→shard affinity bugs at attach time.
+  NodeId attach(PacketHandler handler,
+                const sim::Simulator* owner = nullptr);
 
   /// Replaces the handler of an existing node (e.g. after worker restart).
+  /// In sharded mode this must run on the node's own shard (or between
+  /// runs): the handler is read by that shard's thread.
   void set_handler(NodeId node, PacketHandler handler);
 
   /// Queues `packet` for delivery. src/dst must be attached nodes.
   void send(Packet packet);
+
+  /// The shard a node was attached on (0 in unsharded mode).
+  unsigned shard_of(NodeId node) const {
+    return sharded_ != nullptr ? ports_[node].shard : 0;
+  }
 
   void set_faults(FaultConfig faults) { faults_ = faults; }
 
@@ -59,31 +94,57 @@ class Network {
   /// tracer must outlive the network or be detached first.
   void set_tracer(PacketTracer* tracer) { tracer_ = tracer; }
 
-  std::uint64_t packets_sent() const { return sent_; }
-  std::uint64_t packets_dropped() const { return dropped_; }
-  std::uint64_t packets_delivered() const { return delivered_; }
-  std::uint64_t bytes_sent() const { return bytes_; }
+  std::uint64_t packets_sent() const {
+    return sent_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t packets_dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t packets_delivered() const {
+    return delivered_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytes_sent() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
 
  private:
   SimDuration serialization(Bytes size) const;
 
-  sim::Simulator& sim_;
+  bool multi_shard() const {
+    return sharded_ != nullptr && sharded_->shards() > 1;
+  }
+
+  /// Classic synchronous path: both ports reserved at send time, one
+  /// delivery event on `sim`. Used unsharded and for same-shard traffic.
+  void send_local(Packet packet, sim::Simulator& sim, Rng& rng);
+  /// Cross-shard path: uplink here, downlink + delivery posted to the
+  /// destination shard at switch-arrival time.
+  void send_cross(Packet packet, unsigned src_shard, unsigned dst_shard);
+
+  void trace(const Packet& packet, SimTime at, bool dropped);
+
+  sim::Simulator& sim_;                      // shard 0 in sharded mode
+  sim::ShardedSimulator* sharded_ = nullptr;
+  unsigned attach_shard_ = 0;
   LinkConfig link_;
   FaultConfig faults_;
-  Rng rng_;
+  Rng rng_;                    // fault draws, unsharded path
+  std::vector<Rng> shard_rngs_;  // fault draws per source shard (sharded)
   PacketTracer* tracer_ = nullptr;
+  std::mutex trace_mu_;        // serializes tracer records across shards
 
   struct Port {
     PacketHandler handler;
-    SimTime uplink_free_at = 0;
-    SimTime downlink_free_at = 0;
+    SimTime uplink_free_at = 0;    // written only by the node's shard
+    SimTime downlink_free_at = 0;  // written only by the node's shard
+    unsigned shard = 0;
   };
   std::vector<Port> ports_;
 
-  std::uint64_t sent_ = 0;
-  std::uint64_t dropped_ = 0;
-  std::uint64_t delivered_ = 0;
-  std::uint64_t bytes_ = 0;
+  std::atomic<std::uint64_t> sent_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> bytes_{0};
 };
 
 }  // namespace lnic::net

@@ -39,7 +39,8 @@ SmartNic::~SmartNic() = default;
 SmartNic::SmartNic(sim::Simulator& sim, net::Network& network,
                    NicConfig config)
     : sim_(sim), network_(network), config_(config), rng_(config.seed) {
-  node_ = network_.attach([this](const Packet& p) { handle_packet(p); });
+  node_ = network_.attach([this](const Packet& p) { handle_packet(p); },
+                          &sim_);
 }
 
 bool SmartNic::down() const { return sim_.now() < down_until_; }

@@ -1,0 +1,167 @@
+// Sharded parallel simulation: per-island event shards with conservative
+// synchronization.
+//
+// ShardedSimulator layers N independent arena engines (one Simulator per
+// shard, each with its own calendar wheel) over OS threads and advances
+// them in lockstep time windows:
+//
+//   T0   = min over shards of next_event_time()
+//   end  = T0 + lookahead - 1
+//   every shard runs run_until(end) concurrently, then all block on a
+//   barrier; cross-shard events buffered during the window are merged and
+//   scheduled; repeat.
+//
+// The lookahead contract: every cross-shard interaction must take at
+// least `lookahead` simulated time (for the network fabric this is link
+// propagation + switch forwarding latency — the minimum time a packet is
+// "in flight" and owned by neither endpoint). An event posted at local
+// time t therefore lands at t + lookahead > end, strictly after the
+// current window, so no shard can ever receive an event in its past.
+// Windows need no null messages: the barrier itself is the sync point.
+//
+// Determinism: cross-shard posts are stamped (time, global-seq) where
+// global-seq packs {source shard : 16, per-source count : 48}. The merge
+// at each barrier sorts by that key before scheduling into destination
+// shards, so the destination's insertion order — and hence its (time,
+// seq) dispatch order — is a pure function of simulation state, never of
+// thread scheduling. Runs are bit-reproducible for a fixed shard count
+// and seed.
+//
+// Single-shard mode bypasses all of this: every call delegates straight
+// to the one underlying Simulator on the calling thread, so shards=1
+// dispatches in the exact (time, seq) order of the classic engine and
+// every deterministic bench replays byte-for-byte.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "sim/simulator.h"
+
+namespace lnic::sim {
+
+class ShardedSimulator {
+ public:
+  /// Creates `shards` independent event shards (>= 1). Worker threads are
+  /// spawned only when shards > 1.
+  explicit ShardedSimulator(unsigned shards = 1);
+  ~ShardedSimulator();
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+  unsigned shards() const { return static_cast<unsigned>(shards_.size()); }
+
+  /// The per-shard engine. Entities pinned to shard `s` schedule their
+  /// local events here; all of a node's state lives on exactly one shard.
+  Simulator& shard(unsigned s) { return *shards_[s].sim; }
+  const Simulator& shard(unsigned s) const { return *shards_[s].sim; }
+
+  /// Tightens the lookahead to at most `min_delay`. Called by every
+  /// cross-shard coupling (the network fabric) with its minimum
+  /// interaction latency; the effective lookahead is the min over all
+  /// callers. Must be positive — validate_lookahead() reports violations.
+  void constrain_lookahead(SimDuration min_delay);
+  SimDuration lookahead() const { return lookahead_; }
+
+  /// Checks that the configured lookahead permits conservative parallel
+  /// execution: rejects zero/negative lookahead when shards > 1 (a
+  /// zero-delay cross-shard link would let one shard schedule into
+  /// another shard's past).
+  Status validate_lookahead() const;
+
+  /// Enqueues `fn` on shard `dst` at absolute time `at`, stamped with the
+  /// next (time, global-seq) key from shard `src`. Must be called from
+  /// code running on shard `src` (or from the coordinating thread between
+  /// windows). Cross-shard posts inside a window must satisfy
+  /// `at >= shard(src).now() + lookahead()`; violations abort.
+  void post(unsigned src, unsigned dst, SimTime at, EventFn fn);
+
+  /// Runs until every shard drains (cross-shard mail included). Returns
+  /// total events dispatched across shards.
+  std::uint64_t run();
+
+  /// Runs all shards up to and including `deadline`; every shard's clock
+  /// ends at `deadline`. Returns total events dispatched.
+  std::uint64_t run_until(SimTime deadline);
+
+  /// As run_until, but re-evaluates `stop` at every window barrier and
+  /// returns early (shards aligned at the last window's end) once it
+  /// turns true. Lets callers wait for a completion flag in workloads
+  /// whose event queues never drain (heartbeats, periodic timers).
+  std::uint64_t run_until(SimTime deadline, const std::function<bool()>& stop);
+
+  /// Shard 0's clock. All shards share this value at every barrier, so
+  /// between runs it is *the* simulation time.
+  SimTime now() const { return shards_[0].sim->now(); }
+
+  /// Live pending events across shards plus undelivered cross-shard mail.
+  std::size_t pending() const;
+
+  std::uint64_t events_dispatched() const;
+
+  /// Cross-shard events posted since construction.
+  std::uint64_t cross_shard_posts() const;
+
+  /// Synchronization windows executed by multi-shard runs.
+  std::uint64_t windows_executed() const { return windows_; }
+
+ private:
+  /// A cross-shard event buffered until the next barrier. gseq packs
+  /// {src shard : 16, per-source sequence : 48} so the barrier merge
+  /// order is thread-schedule independent.
+  struct RemoteEvent {
+    SimTime at;
+    std::uint64_t gseq;
+    unsigned dst;
+    EventFn fn;
+  };
+
+  struct Shard {
+    std::unique_ptr<Simulator> sim;
+    // Written only by the shard's own thread during a window (or the
+    // coordinator between windows); drained single-threaded at barriers.
+    std::vector<RemoteEvent> outbox;
+    std::uint64_t next_post_seq = 0;
+    std::uint64_t window_dispatched = 0;
+  };
+
+  /// Moves all outbox entries into destination shards in (at, gseq)
+  /// order. Runs single-threaded (between windows).
+  void flush_remote();
+
+  /// One synchronized window: all shards run_until(end) in parallel.
+  /// Returns events dispatched this window.
+  std::uint64_t run_window(SimTime end);
+
+  /// Shared core of run()/run_until(): windows until `deadline` (or
+  /// drained when `drain`), checking `stop` at barriers when non-null.
+  std::uint64_t run_windows(SimTime deadline, bool drain,
+                            const std::function<bool()>* stop);
+
+  void worker_loop(unsigned s);
+
+  std::vector<Shard> shards_;
+  SimDuration lookahead_ = kSimTimeMax;
+  std::uint64_t windows_ = 0;
+
+  // Window barrier for the persistent worker threads (shards 1..N-1;
+  // shard 0 runs on the coordinating thread). The coordinator publishes
+  // {window_end_, epoch_}; workers run their shard and report done.
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  SimTime window_end_ = 0;
+  std::uint64_t epoch_ = 0;
+  unsigned done_count_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace lnic::sim

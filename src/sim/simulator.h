@@ -90,6 +90,16 @@ class Simulator {
   /// Number of live (non-cancelled) pending events.
   std::size_t pending() const { return live_; }
 
+  /// Earliest pending entry's time, or kSimTimeMax when the queue is
+  /// empty. Conservative: a cancelled-but-unpopped entry may report an
+  /// earlier time than the first live event — safe for computing a
+  /// parallel window start, since run_until() discards stale entries and
+  /// so always makes progress past them.
+  SimTime next_event_time() const {
+    const Candidate c = peek();
+    return c.found ? c.time : kSimTimeMax;
+  }
+
   std::uint64_t events_dispatched() const { return dispatched_; }
 
   /// Arena slots currently allocated (live + free-listed); sizing/debug.

@@ -1,0 +1,171 @@
+// Tests for the sharded parallel simulation engine (sim/sharded.h) and
+// its integration with the network fabric and the cluster: conservative
+// windows, (time, global-seq) merge order, the lookahead contract, and
+// shard-count invariance of simulated results.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "net/network.h"
+#include "sim/sharded.h"
+#include "workloads/lambdas.h"
+
+namespace lnic {
+namespace {
+
+TEST(ShardedSimulator, SingleShardDelegatesToClassicEngine) {
+  sim::ShardedSimulator sharded;
+  ASSERT_EQ(sharded.shards(), 1u);
+  std::vector<int> order;
+  sharded.shard(0).schedule_at(microseconds(2), [&] { order.push_back(2); });
+  sharded.shard(0).schedule_at(microseconds(1), [&] { order.push_back(1); });
+  EXPECT_EQ(sharded.run(), 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sharded.now(), microseconds(1) * 0 + sharded.shard(0).now());
+  EXPECT_EQ(sharded.windows_executed(), 0u);  // no barrier machinery
+  EXPECT_EQ(sharded.cross_shard_posts(), 0u);
+}
+
+TEST(ShardedSimulator, MultiShardRunsAllShardsToDrain) {
+  sim::ShardedSimulator sharded(4);
+  sharded.constrain_lookahead(microseconds(1));
+  int fired = 0;
+  for (unsigned s = 0; s < 4; ++s) {
+    sharded.shard(s).schedule_at(microseconds(5 + s), [&fired] { ++fired; });
+  }
+  EXPECT_EQ(sharded.run(), 4u);
+  EXPECT_EQ(fired, 4);
+  EXPECT_GE(sharded.windows_executed(), 1u);
+}
+
+TEST(ShardedSimulator, RunUntilAlignsEveryShardClock) {
+  sim::ShardedSimulator sharded(3);
+  sharded.constrain_lookahead(microseconds(1));
+  sharded.shard(1).schedule_at(microseconds(2), [] {});
+  sharded.run_until(milliseconds(1));
+  for (unsigned s = 0; s < 3; ++s) {
+    EXPECT_EQ(sharded.shard(s).now(), milliseconds(1)) << "shard " << s;
+  }
+}
+
+TEST(ShardedSimulator, SameTickCrossShardArrivalsDispatchInGlobalSeqOrder) {
+  sim::ShardedSimulator sharded(4);
+  sharded.constrain_lookahead(microseconds(1));
+  std::vector<int> order;
+  const SimTime tick = microseconds(10);
+  // Posted out of source order, all due the same tick on shard 0. The
+  // barrier merge sorts by (time, global-seq) where global-seq packs the
+  // source shard in its high bits, so dispatch order is src 1, 2, 3 —
+  // independent of call order and thread scheduling.
+  sharded.post(3, 0, tick, sim::EventFn([&order] { order.push_back(3); }));
+  sharded.post(1, 0, tick, sim::EventFn([&order] { order.push_back(1); }));
+  sharded.post(2, 0, tick, sim::EventFn([&order] { order.push_back(2); }));
+  // Two posts from one source keep their per-source sequence order.
+  sharded.post(2, 0, tick, sim::EventFn([&order] { order.push_back(22); }));
+  sharded.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 22, 3}));
+  EXPECT_EQ(sharded.cross_shard_posts(), 4u);
+}
+
+TEST(ShardedSimulator, StopPredicateEndsRunAtBarrier) {
+  sim::ShardedSimulator sharded(2);
+  sharded.constrain_lookahead(microseconds(1));
+  bool done = false;
+  sharded.shard(1).schedule_at(microseconds(3), [&done] { done = true; });
+  // Periodic noise so the queue never drains on its own.
+  std::function<void()> tick = [&] {
+    sharded.shard(0).schedule(microseconds(1), tick);
+  };
+  tick();
+  sharded.run_until(seconds(1), [&done] { return done; });
+  EXPECT_TRUE(done);
+  EXPECT_LT(sharded.now(), seconds(1));
+}
+
+TEST(ShardedSimulator, ValidateLookaheadRejectsZeroDelayCoupling) {
+  sim::ShardedSimulator sharded(2);
+  net::LinkConfig link;
+  link.propagation = 0;
+  link.switch_latency = 0;
+  net::Network network(sharded, link);
+  const Status status = sharded.validate_lookahead();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.error().message.find("zero-delay"), std::string::npos)
+      << status.error().message;
+  EXPECT_NE(status.error().message.find("lookahead"), std::string::npos);
+}
+
+TEST(ShardedSimulator, SingleShardToleratesZeroDelayCoupling) {
+  // The legacy engine has no lookahead requirement; shards=1 must keep
+  // accepting zero-delay links.
+  sim::ShardedSimulator sharded(1);
+  net::LinkConfig link;
+  link.propagation = 0;
+  link.switch_latency = 0;
+  net::Network network(sharded, link);
+  EXPECT_TRUE(sharded.validate_lookahead().ok());
+}
+
+TEST(ShardedCluster, ZeroDelayLinkRejectedAtDeploy) {
+  core::ClusterConfig config;
+  config.workers = 2;
+  config.shards = 2;
+  config.link.propagation = 0;
+  config.link.switch_latency = 0;
+  core::Cluster cluster(config);
+  auto deployed = cluster.deploy(workloads::make_standard_workloads());
+  ASSERT_FALSE(deployed.ok());
+  EXPECT_NE(deployed.error().message.find("lookahead"), std::string::npos)
+      << deployed.error().message;
+}
+
+std::vector<SimDuration> run_cluster_web(unsigned shards, int requests,
+                                         std::uint64_t* cross_posts) {
+  core::ClusterConfig config;
+  config.workers = 4;
+  config.shards = shards;
+  core::Cluster cluster(config);
+  auto deployed = cluster.deploy(workloads::make_standard_workloads());
+  EXPECT_TRUE(deployed.ok());
+  if (!deployed.ok()) return {};
+  cluster.wait_until_ready();
+  std::vector<SimDuration> latencies;
+  for (int i = 0; i < requests; ++i) {
+    auto response = cluster.invoke_and_wait(
+        "web_server", workloads::encode_web_request(i & 3));
+    EXPECT_TRUE(response.ok()) << "request " << i;
+    latencies.push_back(response.ok() ? response.value().latency : -1);
+  }
+  if (cross_posts != nullptr) *cross_posts = cluster.sharded().cross_shard_posts();
+  return latencies;
+}
+
+TEST(ShardedCluster, FourShardsMatchSingleShardLatencies) {
+  // The tentpole's correctness bar: sharding is a *scheduling* change,
+  // not a *model* change. The same cluster workload must produce the
+  // same per-request latencies whether the island runs on 1 shard or 4.
+  std::uint64_t cross_posts = 0;
+  const auto one = run_cluster_web(1, 25, nullptr);
+  const auto four = run_cluster_web(4, 25, &cross_posts);
+  ASSERT_EQ(one.size(), four.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(one[i], four[i]) << "request " << i;
+  }
+  // The sharded run really exercised the cross-shard path.
+  EXPECT_GT(cross_posts, 0u);
+}
+
+TEST(ShardedCluster, FixedShardCountIsDeterministic) {
+  std::uint64_t posts_a = 0;
+  std::uint64_t posts_b = 0;
+  const auto a = run_cluster_web(4, 15, &posts_a);
+  const auto b = run_cluster_web(4, 15, &posts_b);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(posts_a, posts_b);
+}
+
+}  // namespace
+}  // namespace lnic

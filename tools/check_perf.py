@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
 """Validate a BENCH_perf_*.json file from the wall-clock perf suite.
 
-Usage: check_perf.py <BENCH_perf_engine.json | BENCH_perf_datapath.json>
+Usage: check_perf.py <BENCH_perf_engine.json | BENCH_perf_datapath.json
+                      | BENCH_perf_parallel.json>
 
-Checks the JSON schema (bench name, seed, metric list with name/value/
-unit) and bench-specific invariants:
+Checks the JSON schema (bench name, seed, shard count, metric list with
+name/value/unit) and bench-specific invariants:
 
 - perf_engine: all four mixes present; deterministic dispatch counters
   match the configured run shape; events/sec above a *loose* floor —
@@ -13,6 +14,11 @@ unit) and bench-specific invariants:
 - perf_datapath: the fragmented-RPC scenario must copy ZERO payload
   bytes (the whole point of the buffer layer) and share a nonzero
   number; the cluster scenario likewise copies nothing.
+- perf_parallel: every swept shard count ran and completed the full
+  closed-loop request count; cross-shard posts flowed when sharded; the
+  4-shard aggregate events/sec is at least 2x the 1-shard rate — but
+  that speedup floor is enforced only when the recorded hw_threads >= 4,
+  since the parallelism physically cannot show on a 1-2 core box.
 
 Exit code 0 on success.
 """
@@ -41,9 +47,11 @@ def load(path):
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as err:
         fail(f"cannot parse {path}: {err}")
-    for key in ("bench", "seed", "metrics"):
+    for key in ("bench", "seed", "shards", "metrics"):
         if key not in doc:
             fail(f"missing top-level key '{key}'")
+    if not isinstance(doc["shards"], int) or doc["shards"] < 1:
+        fail(f"'shards' must be a positive integer, got {doc['shards']!r}")
     if not isinstance(doc["metrics"], list) or not doc["metrics"]:
         fail("'metrics' must be a non-empty list")
     for m in doc["metrics"]:
@@ -102,6 +110,59 @@ def check_datapath(doc):
           f"cluster shared {got['cluster_bytes_shared']:.0f} B copied 0")
 
 
+def check_parallel(doc):
+    got = metrics_by_name(doc)
+    for key in ("hw_threads", "islands"):
+        if key not in got:
+            fail(f"perf_parallel missing metric '{key}'")
+    swept = sorted(
+        int(name[len("shards"):-len("_events_per_sec")])
+        for name in got
+        if name.startswith("shards") and name.endswith("_events_per_sec")
+    )
+    if 1 not in swept or 4 not in swept:
+        fail(f"perf_parallel must sweep shard counts 1 and 4, got {swept}")
+    completed = None
+    for s in swept:
+        cell = f"shards{s}"
+        for suffix in ("_dispatched", "_completed", "_cross_posts"):
+            if cell + suffix not in got:
+                fail(f"perf_parallel missing metric '{cell + suffix}'")
+        if got[f"{cell}_events_per_sec"] <= 0:
+            fail(f"{cell}_events_per_sec is zero — sweep point did not run")
+        if got[f"{cell}_dispatched"] <= 0:
+            fail(f"{cell}_dispatched is zero — sweep point did not run")
+        # Closed-loop: every shard count completes the same request count.
+        if completed is None:
+            completed = got[f"{cell}_completed"]
+        elif got[f"{cell}_completed"] != completed:
+            fail(
+                f"{cell}_completed = {got[cell + '_completed']:.0f} != "
+                f"{completed:.0f}; shard count changed the simulated result"
+            )
+        if s > 1 and got[f"{cell}_cross_posts"] <= 0:
+            fail(f"{cell}_cross_posts is zero — no cross-shard traffic")
+    if completed is None or completed <= 0:
+        fail("perf_parallel completed zero requests")
+    if "speedup_4x" not in got:
+        fail("perf_parallel missing metric 'speedup_4x'")
+    hw = got["hw_threads"]
+    if hw >= 4:
+        if got["speedup_4x"] < 2.0:
+            fail(
+                f"speedup_4x = {got['speedup_4x']:.2f} on a {hw:.0f}-thread "
+                "machine; 4 shards must be >= 2x the 1-shard rate"
+            )
+        verdict = f"speedup_4x={got['speedup_4x']:.2f} (floor 2.0 enforced)"
+    else:
+        verdict = (
+            f"speedup_4x={got['speedup_4x']:.2f} (floor skipped: "
+            f"{hw:.0f} hw thread(s))"
+        )
+    print(f"check_perf: OK perf_parallel shards={swept} "
+          f"completed={completed:.0f}/point " + verdict)
+
+
 def main():
     if len(sys.argv) != 2:
         print(__doc__)
@@ -111,6 +172,8 @@ def main():
         check_engine(doc)
     elif doc["bench"] == "perf_datapath":
         check_datapath(doc)
+    elif doc["bench"] == "perf_parallel":
+        check_parallel(doc)
     else:
         fail(f"unknown bench '{doc['bench']}'")
 

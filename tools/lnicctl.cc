@@ -76,14 +76,16 @@ int usage() {
                "  lnicctl run <firmware.lnfw> --wid N [--op X] [--key K] "
                "[--value V] [--cost npu|host|python]\n"
                "  lnicctl trace <web|kv|image> [--requests N] [--retransmit] "
-               "[--backend nic|baremetal|container] [--out trace.json]\n"
+               "[--backend nic|baremetal|container] [--shards N] "
+               "[--out trace.json]\n"
                "  lnicctl metrics [--requests N] "
-               "[--backend nic|baremetal|container]\n"
+               "[--backend nic|baremetal|container] [--shards N]\n"
                "  lnicctl loadgen poisson [--rate R] [--duration-ms D] "
                "[--functions N] [--zipf S]\n"
-               "                  [--deadline-us U] [--backend ...]\n"
+               "                  [--deadline-us U] [--backend ...] "
+               "[--shards N]\n"
                "  lnicctl loadgen trace <file> [--deadline-us U] "
-               "[--expect N] [--backend ...]\n"
+               "[--expect N] [--backend ...] [--shards N]\n"
                "  lnicctl loadgen synth [--out <file>] "
                "[--pattern constant|diurnal|burst]\n"
                "                  [--duration-ms D] [--rate R] [--peak P] "
@@ -132,6 +134,14 @@ std::map<std::string, std::string> parse_flags(int argc, char** argv,
     }
   }
   return flags;
+}
+
+// Cluster commands accept `--shards N`: event shards for the simulated
+// cluster (1 = the exact single-threaded legacy schedule).
+unsigned flag_shards(const std::map<std::string, std::string>& flags) {
+  const auto it = flags.find("--shards");
+  if (it == flags.end() || it->second.empty()) return 1;
+  return static_cast<unsigned>(std::stoul(it->second));
 }
 
 int cmd_compile(int argc, char** argv) {
@@ -326,6 +336,7 @@ int cmd_trace(int argc, char** argv) {
 
   core::ClusterConfig config;
   config.workers = 2;
+  config.shards = flag_shards(flags);
   if (!parse_backend(flags, &config.backend)) return usage();
   core::Cluster cluster(config);
 
@@ -392,6 +403,7 @@ int cmd_metrics(int argc, char** argv) {
 
   core::ClusterConfig config;
   config.workers = 2;
+  config.shards = flag_shards(flags);
   if (!parse_backend(flags, &config.backend)) return usage();
   core::Cluster cluster(config);
 
@@ -495,6 +507,7 @@ int run_loadgen(const std::map<std::string, std::string>& flags,
                 SimDuration run_for, std::uint64_t expect) {
   core::ClusterConfig config;
   config.workers = 2;
+  config.shards = flag_shards(flags);
   if (!parse_backend(flags, &config.backend)) return usage();
   core::Cluster cluster(config);
 
