@@ -33,7 +33,7 @@ Shares run(nicsim::DispatchPolicy policy) {
   config.dispatch = policy;
   config.max_queue_depth = 1u << 20;
   nicsim::SmartNic nic(sim, network, config);
-  nic.set_wfq_weights({{1, 3}, {2, 1}});
+  nic.set_drr_weights({{1, 3}, {2, 1}});
 
   auto bundle = workloads::make_web_farm(2);
   auto compiled = compiler::compile(bundle.spec, std::move(bundle.lambdas));

@@ -31,6 +31,10 @@ int main() {
   scaler_config.evaluation_period = milliseconds(100);
   scaler_config.target_rps_per_replica = 2000.0;
   scaler_config.max_replicas = 4;
+  // Demo-scale hysteresis: the production default cooldown (5 s) is
+  // longer than this demo's quiet tail, which would hide the scale-down.
+  scaler_config.scale_down_evals = 3;
+  scaler_config.scale_down_cooldown = milliseconds(500);
   framework::Autoscaler scaler(
       cluster.sim(), cluster.gateway(), scaler_config,
       [&](const std::string& name, std::uint32_t replicas) {

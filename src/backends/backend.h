@@ -75,6 +75,22 @@ class Backend {
   /// substrate so requests carrying a trace id in their lambda header
   /// record queueing/execution spans. No-op timing-wise.
   virtual void set_tracer(trace::TraceRecorder* tracer) = 0;
+
+  /// Tenancy hooks: assign a workload to a tenant namespace, bound a
+  /// tenant's on-card resources, or evict a tenant. Host backends run
+  /// each lambda in its own process/container and need no shared-card
+  /// partitioning, so the defaults are no-ops; the λ-NIC backend
+  /// forwards to the SmartNIC's DRR scheduler and quota admission.
+  virtual void set_tenant_of(WorkloadId workload, TenantId tenant) {
+    (void)workload;
+    (void)tenant;
+  }
+  virtual void set_tenant_quota(TenantId tenant,
+                                const nicsim::TenantQuota& quota) {
+    (void)tenant;
+    (void)quota;
+  }
+  virtual void undeploy_tenant(TenantId tenant) { (void)tenant; }
 };
 
 /// λ-NIC: lambdas run on the SmartNIC; host CPU stays idle (§6.4).
@@ -95,6 +111,16 @@ class LambdaNicBackend : public Backend {
   }
   void set_tracer(trace::TraceRecorder* tracer) override {
     nic_.set_tracer(tracer);
+  }
+  void set_tenant_of(WorkloadId workload, TenantId tenant) override {
+    nic_.set_tenant(workload, tenant);
+  }
+  void set_tenant_quota(TenantId tenant,
+                        const nicsim::TenantQuota& quota) override {
+    nic_.set_tenant_quota(tenant, quota);
+  }
+  void undeploy_tenant(TenantId tenant) override {
+    nic_.undeploy_tenant(tenant);
   }
 
   nicsim::SmartNic& nic() { return nic_; }

@@ -41,6 +41,12 @@ constexpr NodeId kInvalidNode = 0xFFFFFFFFu;
 using WorkloadId = std::uint32_t;
 constexpr WorkloadId kInvalidWorkload = 0xFFFFFFFFu;
 
+/// Identifies a tenant sharing the NPU grid (SuperNIC-style multi-tenant
+/// SmartNIC sharing). Tenant 0 is the implicit single-tenant default:
+/// legacy deployments never mention tenants and behave exactly as before.
+using TenantId = std::uint32_t;
+constexpr TenantId kDefaultTenant = 0;
+
 /// Monotonically increasing request identifier, unique per gateway.
 using RequestId = std::uint64_t;
 

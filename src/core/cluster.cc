@@ -48,6 +48,11 @@ Cluster::Cluster(ClusterConfig config)
 
 Result<framework::DeploymentRecord> Cluster::deploy(
     workloads::WorkloadBundle bundle) {
+  return deploy(std::move(bundle), std::string());
+}
+
+Result<framework::DeploymentRecord> Cluster::deploy(
+    workloads::WorkloadBundle bundle, const std::string& tenant) {
   if (auto lookahead = sharded_.validate_lookahead(); !lookahead.ok()) {
     return lookahead.error();
   }
@@ -62,7 +67,7 @@ Result<framework::DeploymentRecord> Cluster::deploy(
   for (auto& worker : workers_) pool.push_back(worker.get());
   auto record = manager_->deploy(
       std::move(bundle), pool,
-      framework::placement_policy(config_.placement), gateway_.get());
+      framework::placement_policy(config_.placement), gateway_.get(), tenant);
   if (!record.ok()) return record.error();
   ready_at_ = std::max(ready_at_, record.value().ready_at);
   return record;

@@ -84,6 +84,17 @@ class Cluster {
   /// serving after wait_until_ready().
   Result<framework::DeploymentRecord> deploy(workloads::WorkloadBundle bundle);
 
+  /// Tenant-namespaced deployment: routes register as
+  /// "<tenant>/<function>" and the tenant id rides every request header,
+  /// so the NIC's DRR scheduler and quota admission see the namespace.
+  Result<framework::DeploymentRecord> deploy(workloads::WorkloadBundle bundle,
+                                             const std::string& tenant);
+
+  /// Records `tenant`'s NIC resource quota for subsequent deploys.
+  void set_tenant_quota(const std::string& tenant, nicsim::TenantQuota quota) {
+    manager_->set_tenant_quota(tenant, quota);
+  }
+
   /// Advances the simulation past etcd elections and backend startup
   /// (firmware load / container pull).
   void wait_until_ready();

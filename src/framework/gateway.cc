@@ -62,15 +62,39 @@ void Gateway::register_function(const std::string& name, WorkloadId workload,
   replicas.reserve(workers.size());
   for (NodeId node : workers) replicas.push_back(Replica{node, 1,
                                                          kUnknownBackendKind});
-  routes_[name] = Route{workload, std::move(workers), std::move(replicas)};
+  routes_[name] = Route{workload, kDefaultTenant, std::move(workers),
+                        std::move(replicas)};
 }
 
 void Gateway::register_replicas(const std::string& name, WorkloadId workload,
-                                std::vector<Replica> replicas) {
+                                std::vector<Replica> replicas,
+                                TenantId tenant) {
   std::vector<NodeId> workers;
   workers.reserve(replicas.size());
   for (const auto& replica : replicas) workers.push_back(replica.node);
-  routes_[name] = Route{workload, std::move(workers), std::move(replicas)};
+  routes_[name] = Route{workload, tenant, std::move(workers),
+                        std::move(replicas)};
+}
+
+TenantId Gateway::register_tenant(const std::string& name) {
+  const auto it = tenant_ids_.find(name);
+  if (it != tenant_ids_.end()) return it->second;
+  const TenantId id = next_tenant_++;
+  tenant_ids_[name] = id;
+  tenant_names_[id] = name;
+  return id;
+}
+
+std::string Gateway::tenant_label(TenantId tenant) const {
+  const auto it = tenant_names_.find(tenant);
+  if (it != tenant_names_.end()) return it->second;
+  return "tenant-" + std::to_string(tenant);
+}
+
+Labels Gateway::metric_labels(const std::string& name) const {
+  const Route* r = route(name);
+  if (r == nullptr || r->tenant == kDefaultTenant) return {{"fn", name}};
+  return {{"fn", name}, {"tenant", tenant_label(r->tenant)}};
 }
 
 void Gateway::set_rate_limit(const std::string& name, RateLimit limit) {
@@ -139,7 +163,7 @@ void Gateway::invoke(const std::string& name, net::BufferView payload,
     }
     return;
   }
-  metrics_.counter("gateway_requests_total", {{"fn", name}}).increment();
+  metrics_.counter("gateway_requests_total", metric_labels(name)).increment();
 
   trace::SpanContext ctx;
   if (sample_trace()) {
@@ -147,6 +171,10 @@ void Gateway::invoke(const std::string& name, net::BufferView payload,
     const trace::SpanId root = tracer_->start_span(
         ctx.trace, trace::kInvalidSpan, "request", sim_.now());
     tracer_->annotate(root, "fn", name);
+    if (const Route* r = route(name); r != nullptr &&
+                                      r->tenant != kDefaultTenant) {
+      tracer_->annotate(root, "tenant", tenant_label(r->tenant));
+    }
     ctx.parent = root;
     // The root span closes when the caller's callback fires, whatever
     // path (success, shed, failover exhaustion) got us there.
@@ -397,10 +425,10 @@ void Gateway::send_to_worker(const std::string& name,
                     static_cast<double>(sim_.now() - started);
                 metrics_.sampler("gateway_latency_ns", {{"fn", name}})
                     .add(elapsed);
-                metrics_
-                    .histogram("rpc_latency_ns",
-                               {{"fn", name},
-                                {"backend", backend_kind_label(kind)}})
+                Labels rpc_labels = metric_labels(name);
+                rpc_labels.emplace_back("backend",
+                                        backend_kind_label(kind));
+                metrics_.histogram("rpc_latency_ns", rpc_labels)
                     .observe(static_cast<double>(result.value().latency));
                 if (callback) callback(std::move(result));
                 return;
@@ -420,7 +448,7 @@ void Gateway::send_to_worker(const std::string& name,
               }
               if (callback) callback(std::move(result));
             },
-            ctx);
+            ctx, route.tenant);
 }
 
 std::string Gateway::encode_route(WorkloadId workload,
@@ -433,9 +461,13 @@ std::string Gateway::encode_route(WorkloadId workload,
 }
 
 std::string Gateway::encode_replicas(WorkloadId workload,
-                                     const std::vector<Replica>& replicas) {
+                                     const std::vector<Replica>& replicas,
+                                     TenantId tenant) {
   std::ostringstream out;
-  out << workload << "|";
+  out << workload;
+  // Default stays implicit so tenant-less routes keep the legacy encoding.
+  if (tenant != kDefaultTenant) out << "~" << tenant;
+  out << "|";
   for (std::size_t i = 0; i < replicas.size(); ++i) {
     if (i > 0) out << ",";
     out << replicas[i].node;
@@ -455,7 +487,18 @@ Result<Route> Gateway::decode_route(const std::string& encoded) {
   const auto bar = encoded.find('|');
   if (bar == std::string::npos) return malformed();
   Route route;
-  const auto workload = parse_u64(encoded.substr(0, bar));
+  std::string head = encoded.substr(0, bar);
+  // "<wid>[~<tenant>]" — the tenant extension is optional.
+  const auto tilde = head.find('~');
+  if (tilde != std::string::npos) {
+    const auto tenant = parse_u64(head.substr(tilde + 1));
+    if (!tenant || *tenant == 0 || *tenant > 0xFFFFFFFFull) {
+      return malformed();
+    }
+    route.tenant = static_cast<TenantId>(*tenant);
+    head = head.substr(0, tilde);
+  }
+  const auto workload = parse_u64(head);
   if (!workload || *workload > 0xFFFFFFFFull) return malformed();
   route.workload = static_cast<WorkloadId>(*workload);
   std::istringstream stream(encoded.substr(bar + 1));

@@ -74,6 +74,10 @@ struct Replica {
 
 struct Route {
   WorkloadId workload = kInvalidWorkload;
+  /// Tenant namespace the function belongs to (kDefaultTenant for
+  /// single-tenant legacy routes). Stamped into every request's lambda
+  /// header and added as a `tenant=` metric label.
+  TenantId tenant = kDefaultTenant;
   /// Flat node list, one entry per replica (kept in sync with `replicas`;
   /// retained because most callers only care about where requests go).
   std::vector<NodeId> workers;
@@ -106,8 +110,23 @@ class Gateway {
   /// Registers (or replaces) a function route as a weighted replica set
   /// (the placement layer's entry point). Named distinctly because a
   /// braced node list would be ambiguous against the overload above.
+  /// `tenant` places the route in a tenant namespace: requests carry the
+  /// id in their lambda header and per-function metrics gain a
+  /// `tenant=` label (the default keeps legacy series names unchanged).
   void register_replicas(const std::string& name, WorkloadId workload,
-                         std::vector<Replica> replicas);
+                         std::vector<Replica> replicas,
+                         TenantId tenant = kDefaultTenant);
+
+  /// Allocates (idempotently) a tenant id for a named tenant. Ids start
+  /// at 1; kDefaultTenant (0) is the implicit single-tenant namespace.
+  TenantId register_tenant(const std::string& name);
+  /// Human-readable label for a tenant id: its registered name, or
+  /// "tenant-<id>" for ids registered elsewhere (e.g. mirrored routes).
+  std::string tenant_label(TenantId tenant) const;
+  /// Metric labels for a function: {fn=name} plus {tenant=...} when the
+  /// route lives in a tenant namespace. The autoscaler reads the same
+  /// series the gateway writes through this helper.
+  Labels metric_labels(const std::string& name) const;
 
   /// Installs a per-function token-bucket limit; excess requests fail
   /// fast with a throttle error (and count in the metrics).
@@ -146,10 +165,13 @@ class Gateway {
   /// Serialization helpers for the etcd route encoding. A replica token
   /// is "<node>", optionally extended with "*<weight>" and/or "@<kind>"
   /// — plain weight-1 routes encode exactly as before ("7|1,2,3").
+  /// Tenant routes extend the workload field with "~<tenant>"
+  /// ("7~2|1,2,3"); tenant-less routes keep the legacy encoding.
   static std::string encode_route(WorkloadId workload,
                                   const std::vector<NodeId>& workers);
   static std::string encode_replicas(WorkloadId workload,
-                                     const std::vector<Replica>& replicas);
+                                     const std::vector<Replica>& replicas,
+                                     TenantId tenant = kDefaultTenant);
   static Result<Route> decode_route(const std::string& encoded);
 
   MetricsRegistry& metrics() { return metrics_; }
@@ -222,6 +244,9 @@ class Gateway {
   std::map<std::string, Bucket> buckets_;
   std::map<std::string, FnLoad> load_;
   std::map<NodeId, SimTime> quarantined_until_;
+  std::map<std::string, TenantId> tenant_ids_;
+  std::map<TenantId, std::string> tenant_names_;
+  TenantId next_tenant_ = 1;
   std::uint64_t next_queued_id_ = 1;
   MetricsRegistry metrics_;
 };

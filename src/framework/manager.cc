@@ -58,7 +58,27 @@ Result<DeploymentRecord> WorkloadManager::deploy(
 Result<DeploymentRecord> WorkloadManager::deploy(
     workloads::WorkloadBundle bundle, std::span<backends::Backend* const> pool,
     const PlacementPolicy& policy, Gateway* gateway) {
+  return deploy(std::move(bundle), pool, policy, gateway, std::string());
+}
+
+TenantId WorkloadManager::resolve_tenant(const std::string& tenant,
+                                         Gateway* gateway) {
+  if (tenant.empty()) return kDefaultTenant;
+  if (gateway != nullptr) return gateway->register_tenant(tenant);
+  const auto it = local_tenant_ids_.find(tenant);
+  if (it != local_tenant_ids_.end()) return it->second;
+  const TenantId id =
+      static_cast<TenantId>(local_tenant_ids_.size()) + 1;
+  local_tenant_ids_[tenant] = id;
+  return id;
+}
+
+Result<DeploymentRecord> WorkloadManager::deploy(
+    workloads::WorkloadBundle bundle, std::span<backends::Backend* const> pool,
+    const PlacementPolicy& policy, Gateway* gateway,
+    const std::string& tenant) {
   if (pool.empty()) return make_error("manager: empty backend pool");
+  const TenantId tenant_id = resolve_tenant(tenant, gateway);
 
   auto footprints = compute_footprints(bundle);
   if (!footprints.ok()) return footprints.error();
@@ -68,9 +88,15 @@ Result<DeploymentRecord> WorkloadManager::deploy(
   DeploymentRecord record;
   record.policy = policy.name();
   record.artifact_name = bundle.lambdas.name;
+  record.tenant = tenant;
+  record.tenant_id = tenant_id;
   for (const auto& fp : footprints.value()) {
     record.functions.emplace_back(fp.name, fp.workload);
   }
+  // Route names live in the tenant's namespace ("tenant/function").
+  const auto route_name = [&](const std::string& fn) {
+    return tenant.empty() ? fn : tenant + "/" + fn;
+  };
 
   // Deploy each backend's slice of the bundle. A full slice reuses the
   // original bundle object, so homogeneous pools compile bit-identical
@@ -80,6 +106,18 @@ Result<DeploymentRecord> WorkloadManager::deploy(
     if (per_backend[i].empty()) continue;
     backends::Backend& backend = *pool[i];
     auto sub = workloads::split_bundle(bundle, per_backend[i]);
+
+    if (tenant_id != kDefaultTenant) {
+      // Tenancy binds before the firmware lands so quota admission in
+      // the backend's deploy sees the assignments.
+      const auto quota = tenant_quotas_.find(tenant);
+      if (quota != tenant_quotas_.end()) {
+        backend.set_tenant_quota(tenant_id, quota->second);
+      }
+      for (const auto& fp : footprints.value()) {
+        backend.set_tenant_of(fp.workload, tenant_id);
+      }
+    }
 
     const auto profile = backend.startup_profile();
     record.artifact_bytes = std::max(record.artifact_bytes,
@@ -114,13 +152,15 @@ Result<DeploymentRecord> WorkloadManager::deploy(
           static_cast<std::uint8_t>(backend.kind())});
     }
     if (gateway != nullptr) {
-      gateway->register_replicas(fp.name, fp.workload, replicas);
+      gateway->register_replicas(route_name(fp.name), fp.workload, replicas,
+                                 tenant_id);
     }
     if (etcd_ != nullptr) {
       // Best effort, as in the single-backend path: requires an elected
       // leader; earlier callers simply skip the etcd mirror.
-      (void)etcd_->put("route/" + fp.name,
-                       Gateway::encode_replicas(fp.workload, replicas));
+      (void)etcd_->put(
+          "route/" + route_name(fp.name),
+          Gateway::encode_replicas(fp.workload, replicas, tenant_id));
     }
     record.placements.push_back(std::move(placement));
   }

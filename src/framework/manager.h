@@ -46,6 +46,11 @@ struct DeploymentRecord {
   std::vector<std::pair<std::string, WorkloadId>> functions;
   std::string policy;  // placement policy name; empty for legacy deploys
   std::vector<FunctionPlacement> placements;
+  /// Tenant namespace the bundle was deployed under (empty for legacy
+  /// single-tenant deploys). Gateway routes are registered as
+  /// "<tenant>/<function>".
+  std::string tenant;
+  TenantId tenant_id = kDefaultTenant;
 };
 
 class WorkloadManager {
@@ -72,15 +77,37 @@ class WorkloadManager {
                                   const PlacementPolicy& policy,
                                   Gateway* gateway);
 
+  /// Tenant-namespaced pool deployment: every function of the bundle
+  /// belongs to `tenant`. Workload → tenant assignments and the tenant's
+  /// quota (if one was recorded) are installed on each backend *before*
+  /// its deploy, so NIC quota admission sees them; routes register under
+  /// "<tenant>/<function>" with the tenant id carried in gateway routes,
+  /// request headers, and the etcd mirror.
+  Result<DeploymentRecord> deploy(workloads::WorkloadBundle bundle,
+                                  std::span<backends::Backend* const> pool,
+                                  const PlacementPolicy& policy,
+                                  Gateway* gateway,
+                                  const std::string& tenant);
+
+  /// Records a tenant's NIC resource quota, applied to every backend on
+  /// that tenant's subsequent deploys.
+  void set_tenant_quota(const std::string& tenant, nicsim::TenantQuota quota) {
+    tenant_quotas_[tenant] = quota;
+  }
+
   const std::vector<DeploymentRecord>& deployments() const {
     return deployments_;
   }
 
  private:
+  TenantId resolve_tenant(const std::string& tenant, Gateway* gateway);
+
   sim::Simulator& sim_;
   BlobStorage& storage_;
   kvstore::EtcdStore* etcd_;
   std::vector<DeploymentRecord> deployments_;
+  std::map<std::string, nicsim::TenantQuota> tenant_quotas_;
+  std::map<std::string, TenantId> local_tenant_ids_;  // gateway-less deploys
 };
 
 }  // namespace lnic::framework

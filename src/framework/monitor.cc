@@ -40,6 +40,42 @@ void Monitor::scrape() {
                      {{"node", name}, {"region", microc::to_string(region)}}) =
           static_cast<double>(nic.region_bytes_used(region));
     }
+    // Per-tenant footprint and quota gauges: what each tenant's lambdas
+    // occupy on the deployed firmware, and the admission ceilings the
+    // card enforces at deploy/hot-swap time.
+    static constexpr microc::MemRegion kRegions[] = {
+        microc::MemRegion::kLocal, microc::MemRegion::kCtm,
+        microc::MemRegion::kImem, microc::MemRegion::kEmem};
+    for (const auto& [tenant, tenant_usage] : nic.tenant_usages()) {
+      const std::string tid = std::to_string(tenant);
+      metrics_.gauge("nic_tenant_instr_words",
+                     {{"node", name}, {"tenant", tid}}) =
+          static_cast<double>(tenant_usage.instr_words);
+      for (const auto region : kRegions) {
+        metrics_.gauge("nic_tenant_mem_bytes",
+                       {{"node", name},
+                        {"tenant", tid},
+                        {"region", microc::to_string(region)}}) =
+            static_cast<double>(
+                tenant_usage.region_bytes[static_cast<int>(region)]);
+      }
+    }
+    for (const auto& [tenant, quota] : nic.tenant_quotas()) {
+      const std::string tid = std::to_string(tenant);
+      metrics_.gauge("nic_tenant_quota_instr_words",
+                     {{"node", name}, {"tenant", tid}}) =
+          static_cast<double>(quota.instr_store_words);
+      metrics_.gauge("nic_tenant_quota_ctm_bytes",
+                     {{"node", name}, {"tenant", tid}}) =
+          static_cast<double>(quota.ctm_bytes);
+      metrics_.gauge("nic_tenant_quota_imem_bytes",
+                     {{"node", name}, {"tenant", tid}}) =
+          static_cast<double>(quota.imem_bytes);
+      metrics_.gauge("nic_tenant_quota_emem_bytes",
+                     {{"node", name}, {"tenant", tid}}) =
+          static_cast<double>(quota.emem_bytes);
+    }
+
     const auto* profiler = nic.profiler();
     if (profiler == nullptr) continue;
     metrics_.gauge("nic_grid_utilization", {{"node", name}}) =

@@ -1,9 +1,50 @@
 #include "loadgen/slo.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <map>
+#include <memory>
+#include <vector>
 
 namespace lnic::loadgen {
+
+std::uint64_t SloTracker::function_offered(const std::string& function) const {
+  const auto it = functions_.find(function);
+  return it == functions_.end() ? 0 : it->second.offered;
+}
+
+const Sampler* SloTracker::function_latency(
+    const std::string& function) const {
+  const auto it = functions_.find(function);
+  return it == functions_.end() ? nullptr : &it->second.latency;
+}
+
+framework::SloSignalFn slo_signal_source(const SloTracker& tracker) {
+  // Per-function high-water mark into the sampler's raw sample vector;
+  // shared_ptr so the callable stays copyable (std::function requirement).
+  auto consumed = std::make_shared<std::map<std::string, std::size_t>>();
+  return [&tracker, consumed](const std::string& name) {
+    framework::SloSignal signal;
+    signal.valid = true;
+    signal.offered = tracker.function_offered(name);
+    const Sampler* latency = tracker.function_latency(name);
+    if (latency == nullptr) return signal;
+    const std::vector<double>& samples = latency->samples();
+    std::size_t& from = (*consumed)[name];
+    if (from < samples.size()) {
+      // Nearest-rank p99 over the window [from, end), matching
+      // Sampler::percentile's convention.
+      std::vector<double> window(samples.begin() + from, samples.end());
+      std::sort(window.begin(), window.end());
+      const std::size_t rank = static_cast<std::size_t>(
+          std::ceil(0.99 * static_cast<double>(window.size())));
+      signal.p99_ms = window[rank == 0 ? 0 : rank - 1] / 1e6;
+      from = samples.size();
+    }
+    return signal;
+  };
+}
 
 void SloTracker::on_offered(const std::string& function) {
   ++offered_;

@@ -15,6 +15,7 @@
 
 #include "common/stats.h"
 #include "common/types.h"
+#include "framework/autoscaler.h"
 #include "framework/metrics.h"
 
 namespace lnic::loadgen {
@@ -68,6 +69,11 @@ class SloTracker {
 
   const SloConfig& config() const { return config_; }
   std::uint64_t offered() const { return offered_; }
+  /// Cumulative offered count of one function (0 if never offered).
+  std::uint64_t function_offered(const std::string& function) const;
+  /// One function's intended-arrival latency sampler (nullptr if the
+  /// function has no completions yet).
+  const Sampler* function_latency(const std::string& function) const;
   /// Intended-arrival-based latencies (ns) — coordinated-omission safe.
   const Sampler& latency() const { return latency_; }
   /// Dispatch-based latencies (ns) — what a naive driver would record.
@@ -94,5 +100,12 @@ class SloTracker {
   Sampler latency_;
   Sampler service_latency_;
 };
+
+/// Adapts a tracker into the autoscaler's per-function SLO signal: each
+/// reading reports the cumulative offered count plus the p99 of the
+/// latency samples recorded since the previous reading for that function
+/// (a windowed view over the tracker's raw samples; no samples copied
+/// out of the tracker). The tracker must outlive the returned callable.
+framework::SloSignalFn slo_signal_source(const SloTracker& tracker);
 
 }  // namespace lnic::loadgen

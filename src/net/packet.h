@@ -50,6 +50,10 @@ struct LambdaHeader {
   RequestId request_id = 0;
   std::uint32_t frag_index = 0;
   std::uint32_t frag_count = 1;
+  /// Tenant namespace of the target lambda (0 = single-tenant legacy
+  /// traffic). Packs into the header's reserved bits on the wire, so the
+  /// modeled header size — and therefore all timing — is unchanged.
+  TenantId tenant_id = kDefaultTenant;
   /// Distributed-tracing context (0 = untraced). Rides in the header the
   /// way W3C traceparent rides in HTTP; the modeled header size is
   /// unchanged so wire timing is identical with tracing on or off.

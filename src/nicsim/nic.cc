@@ -18,6 +18,7 @@ using net::PacketKind;
 /// the suspended Machine across external-call round trips.
 struct SmartNic::Flight {
   net::LambdaHeader lambda;
+  std::uint32_t sched_class = 0;  // DRR class (tenant or workload id)
   NodeId reply_to = kInvalidNode;
   microc::Invocation invocation;
   std::unique_ptr<microc::Machine> machine;
@@ -51,10 +52,138 @@ void SmartNic::enable_profiler(std::size_t max_samples) {
   slot_busy_.assign(config_.lambda_threads(), false);
 }
 
+std::uint32_t SmartNic::sched_class_of(const net::LambdaHeader& header) const {
+  if (header.tenant_id != kDefaultTenant) return header.tenant_id;
+  const auto it = workload_tenants_.find(header.workload_id);
+  if (it != workload_tenants_.end()) return it->second;
+  return header.workload_id;
+}
+
+void SmartNic::set_tenant(WorkloadId workload, TenantId tenant) {
+  if (tenant == kDefaultTenant) {
+    workload_tenants_.erase(workload);
+  } else {
+    workload_tenants_[workload] = tenant;
+  }
+}
+
+TenantId SmartNic::tenant_of(WorkloadId workload) const {
+  const auto it = workload_tenants_.find(workload);
+  return it == workload_tenants_.end() ? kDefaultTenant : it->second;
+}
+
+void SmartNic::set_tenant_quota(TenantId tenant, TenantQuota quota) {
+  tenant_quotas_[tenant] = quota;
+}
+
+const TenantUsage* SmartNic::tenant_usage(TenantId tenant) const {
+  const auto it = tenant_usage_.find(tenant);
+  return it == tenant_usage_.end() ? nullptr : &it->second;
+}
+
+void SmartNic::undeploy_tenant(TenantId tenant) {
+  const auto queue = wfq_queues_.find(tenant);
+  if (queue != wfq_queues_.end()) {
+    for (auto& flight : queue->second) {
+      ++stats_.requests_dropped_undeploy;
+      inflight_bytes_ -= flight->staged_bytes;
+      --queued_;
+    }
+    wfq_queues_.erase(queue);
+  }
+  wfq_deficit_.erase(tenant);
+  weights_.erase(tenant);
+  for (auto it = workload_tenants_.begin(); it != workload_tenants_.end();) {
+    if (it->second == tenant) {
+      it = workload_tenants_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  tenant_quotas_.erase(tenant);
+  tenant_usage_.erase(tenant);
+}
+
+std::map<TenantId, TenantUsage> SmartNic::compute_tenant_usage(
+    const microc::Program& program) const {
+  std::map<TenantId, TenantUsage> usage;
+  for (const auto& [wid, entry_fn] : program.lambda_entries) {
+    const auto assigned = workload_tenants_.find(wid);
+    if (assigned == workload_tenants_.end()) continue;  // tenant-less lambda
+    TenantUsage& u = usage[assigned->second];
+    // Depth-first closure over kCall edges from the lambda's entry; each
+    // reachable function and every object it references is charged to
+    // the tenant (helpers shared across tenants are double-charged — the
+    // conservative reading of a per-tenant store budget).
+    std::vector<bool> seen_fn(program.functions.size(), false);
+    std::vector<bool> seen_obj(program.objects.size(), false);
+    std::vector<std::uint32_t> stack = {entry_fn};
+    while (!stack.empty()) {
+      const std::uint32_t fn = stack.back();
+      stack.pop_back();
+      if (fn >= program.functions.size() || seen_fn[fn]) continue;
+      seen_fn[fn] = true;
+      for (const auto& block : program.functions[fn].blocks) {
+        for (const auto& in : block.instrs) {
+          u.instr_words += microc::lowered_size(in, program);
+          if (in.op == microc::Opcode::kCall) {
+            stack.push_back(static_cast<std::uint32_t>(in.imm));
+          }
+          const bool touches_obj =
+              microc::is_memory_op(in.op) ||
+              in.op == microc::Opcode::kRespMem ||
+              in.op == microc::Opcode::kMemCpy ||
+              in.op == microc::Opcode::kGrayscale ||
+              in.op == microc::Opcode::kHash ||
+              in.op == microc::Opcode::kBodyCopy;
+          if (!touches_obj) continue;
+          const auto charge = [&](std::uint16_t obj) {
+            if (obj >= program.objects.size() || seen_obj[obj]) return;
+            seen_obj[obj] = true;
+            const auto& object = program.objects[obj];
+            u.region_bytes[static_cast<int>(object.region)] += object.size;
+          };
+          charge(in.obj);
+          // obj2 only carries an operand for the two-object copy ops.
+          if (in.op == microc::Opcode::kMemCpy ||
+              in.op == microc::Opcode::kGrayscale) {
+            charge(in.obj2);
+          }
+        }
+      }
+    }
+  }
+  return usage;
+}
+
 Status SmartNic::deploy(compiler::CompileOutput firmware) {
   if (firmware.final_words() > config_.instr_store_words) {
     return make_error("deploy: firmware exceeds instruction store");
   }
+  // Quota admission runs before any state changes: a rejected deploy —
+  // first-time or hot swap — must leave the running firmware serving.
+  auto usage = compute_tenant_usage(firmware.program);
+  for (const auto& [tenant, u] : usage) {
+    const auto q = tenant_quotas_.find(tenant);
+    if (q == tenant_quotas_.end()) continue;
+    const TenantQuota& quota = q->second;
+    if (quota.instr_store_words > 0 &&
+        u.instr_words > quota.instr_store_words) {
+      return make_error("deploy: tenant " + std::to_string(tenant) +
+                        " exceeds instruction-store quota");
+    }
+    const Bytes limits[4] = {0, quota.ctm_bytes, quota.imem_bytes,
+                             quota.emem_bytes};
+    for (int region = 1; region < 4; ++region) {
+      if (limits[region] > 0 && u.region_bytes[region] > limits[region]) {
+        return make_error(
+            "deploy: tenant " + std::to_string(tenant) + " exceeds " +
+            microc::to_string(static_cast<microc::MemRegion>(region)) +
+            " quota");
+      }
+    }
+  }
+  tenant_usage_ = std::move(usage);
   instr_words_used_ = firmware.final_words();
   program_ = std::move(firmware.program);
   globals_.reset(*program_);
@@ -239,7 +368,8 @@ void SmartNic::enqueue(std::unique_ptr<Flight> flight) {
         flight->ctx.trace, flight->ctx.parent, "nic.queue", sim_.now());
   }
   if (config_.dispatch == DispatchPolicy::kWfq) {
-    wfq_queues_[flight->lambda.workload_id].push_back(std::move(flight));
+    flight->sched_class = sched_class_of(flight->lambda);
+    wfq_queues_[flight->sched_class].push_back(std::move(flight));
   } else {
     fifo_.push_back(std::move(flight));
   }
@@ -256,27 +386,32 @@ std::unique_ptr<SmartNic::Flight> SmartNic::pop_next() {
     --queued_;
     return flight;
   }
-  // Deficit round robin across per-workload queues: each pass grants
-  // every backlogged workload credit proportional to its weight.
+  // Deficit round robin across per-class (tenant, or tenant-less
+  // workload) queues: each pass grants every backlogged class credit
+  // proportional to its weight.
   for (int pass = 0; pass < 2; ++pass) {
-    for (auto& [wid, queue] : wfq_queues_) {
+    for (auto& [cls, queue] : wfq_queues_) {
       if (queue.empty()) continue;
-      auto& deficit = wfq_deficit_[wid];
+      auto& deficit = wfq_deficit_[cls];
       if (deficit >= 1) {
         deficit -= 1;
         auto flight = std::move(queue.front());
         queue.pop_front();
         --queued_;
+        // Textbook DRR: a class that drains its queue forfeits unused
+        // credit. Carrying it over would let a returning class burst
+        // ahead of peers that stayed backlogged the whole time.
+        if (queue.empty()) deficit = 0;
         return flight;
       }
     }
-    // No workload had credit: top everything up and retry once.
+    // No class had credit: top everything up and retry once.
     bool any = false;
-    for (auto& [wid, queue] : wfq_queues_) {
+    for (auto& [cls, queue] : wfq_queues_) {
       if (queue.empty()) continue;
       any = true;
-      const auto it = weights_.find(wid);
-      wfq_deficit_[wid] += it == weights_.end() ? 1 : it->second;
+      const auto it = weights_.find(cls);
+      wfq_deficit_[cls] += it == weights_.end() ? 1 : it->second;
     }
     if (!any) return nullptr;
   }
@@ -426,6 +561,9 @@ void SmartNic::finish_flight(std::unique_ptr<Flight> flight,
     ++stats_.requests_to_host;  // send_pkt_to_host path
   } else {
     ++stats_.requests_completed;
+    if (config_.dispatch == DispatchPolicy::kWfq) {
+      ++stats_.completed_by_class[flight->sched_class];
+    }
     net::LambdaHeader hdr = flight->lambda;
     // Adopt the response vector into one buffer; fragments are slices.
     auto frags = net::fragment(node_, flight->reply_to, PacketKind::kResponse,

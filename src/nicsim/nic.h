@@ -87,18 +87,45 @@ struct NicConfig {
   }
 };
 
-/// Per-workload WFQ weight table (defaults to 1 for unknown workloads).
-using WfqWeights = std::map<WorkloadId, std::uint32_t>;
+/// DRR weight table for the kWfq dispatch policy, keyed by scheduling
+/// class: a workload's tenant when one is assigned (set_tenant /
+/// LambdaHeader::tenant_id), otherwise the workload id itself — so
+/// legacy per-workload weight tables keep their exact meaning. Classes
+/// absent from the table default to weight 1.
+using TenantWeights = std::map<std::uint32_t, std::uint32_t>;
+
+/// Per-tenant resource quota enforced at deploy/hot-swap time (SuperNIC:
+/// safe sharing of a SmartNIC's compute and memory across tenants). A
+/// zero field means unlimited; the whole-card limits still apply.
+struct TenantQuota {
+  std::uint64_t instr_store_words = 0;  // per-core instruction-store slots
+  Bytes ctm_bytes = 0;                  // per-island Cluster Target Memory
+  Bytes imem_bytes = 0;                 // shared on-chip IMEM
+  Bytes emem_bytes = 0;                 // external DRAM
+};
+
+/// What one tenant's lambdas actually occupy on the deployed firmware:
+/// lowered instruction words and per-region object bytes of every
+/// function reachable from the tenant's lambda entries. Shared helpers
+/// are charged to every tenant that reaches them (conservative).
+struct TenantUsage {
+  std::uint64_t instr_words = 0;
+  Bytes region_bytes[4] = {0, 0, 0, 0};  // indexed by microc::MemRegion
+};
 
 struct NicStats {
   std::uint64_t requests_completed = 0;
   std::uint64_t requests_dropped_down = 0;    // arrived during firmware load
   std::uint64_t requests_dropped_queue = 0;   // queue overflow
+  std::uint64_t requests_dropped_undeploy = 0;  // queued at tenant undeploy
   std::uint64_t requests_to_host = 0;         // no matching lambda
   std::uint64_t traps = 0;
   Bytes peak_inflight_bytes = 0;              // RDMA staging high-water mark
   Sampler service_cycles;                     // per-request NPU cycles
   Sampler queue_wait_ns;                      // dispatch queue delay
+  /// Completions per scheduling class (tenant id, or workload id for
+  /// tenant-less traffic). Only populated under the kWfq policy.
+  std::map<std::uint32_t, std::uint64_t> completed_by_class;
 };
 
 class SmartNic {
@@ -110,8 +137,11 @@ class SmartNic {
   NodeId node() const { return node_; }
 
   /// Loads compiled firmware. Fails if the binary exceeds the per-core
-  /// instruction store. Unless hot swap is enabled the NIC is down for
-  /// config.firmware_load_time, and global lambda state resets.
+  /// instruction store or any assigned tenant's quota; a rejected deploy
+  /// (including a rejected hot swap) leaves the previously running
+  /// firmware untouched and serving. Unless hot swap is enabled the NIC
+  /// is down for config.firmware_load_time, and global lambda state
+  /// resets.
   Status deploy(compiler::CompileOutput firmware);
 
   bool deployed() const { return program_.has_value(); }
@@ -119,7 +149,40 @@ class SmartNic {
 
   /// Node to which kExtCall KV traffic is sent (the memcached server).
   void set_kv_server(NodeId node) { kv_server_ = node; }
-  void set_wfq_weights(WfqWeights weights) { weights_ = std::move(weights); }
+  /// Installs the DRR weight table (see TenantWeights for the key space).
+  void set_drr_weights(TenantWeights weights) { weights_ = std::move(weights); }
+
+  /// Assigns a workload to a tenant namespace. Takes effect for quota
+  /// accounting at the next deploy and for scheduling immediately;
+  /// requests whose lambda header carries an explicit tenant_id override
+  /// this mapping.
+  void set_tenant(WorkloadId workload, TenantId tenant);
+  /// The tenant a workload is assigned to (kDefaultTenant if none).
+  TenantId tenant_of(WorkloadId workload) const;
+  /// Installs (or, with a default-constructed quota, clears) a tenant's
+  /// resource quota. Enforced on every subsequent deploy.
+  void set_tenant_quota(TenantId tenant, TenantQuota quota);
+
+  /// Removes a tenant from the card: drops its queued requests (counted
+  /// in requests_dropped_undeploy), erases its DRR queue/deficit/weight
+  /// entries so the scheduler scan set doesn't grow without bound, and
+  /// forgets its workload assignments, quota and usage. In-flight
+  /// requests already on a thread run to completion.
+  void undeploy_tenant(TenantId tenant);
+
+  /// Deployed footprint of an assigned tenant (nullptr if the current
+  /// firmware carries no lambda of that tenant).
+  const TenantUsage* tenant_usage(TenantId tenant) const;
+  /// All per-tenant footprints of the currently deployed firmware.
+  const std::map<TenantId, TenantUsage>& tenant_usages() const {
+    return tenant_usage_;
+  }
+  /// All installed per-tenant quotas.
+  const std::map<TenantId, TenantQuota>& tenant_quotas() const {
+    return tenant_quotas_;
+  }
+  /// Number of scheduling classes the DRR scanner currently tracks.
+  std::size_t drr_class_count() const { return wfq_queues_.size(); }
 
   const NicConfig& config() const { return config_; }
   const NicStats& stats() const { return stats_; }
@@ -159,6 +222,13 @@ class SmartNic {
   void enter_parse_stage(std::unique_ptr<Flight> flight);
   void release_parse_thread();
   void enqueue(std::unique_ptr<Flight> flight);
+  /// DRR scheduling class of a request: explicit header tenant, else the
+  /// workload's assigned tenant, else the workload id itself.
+  std::uint32_t sched_class_of(const net::LambdaHeader& header) const;
+  /// Per-tenant footprint of a program (lowered words + region bytes of
+  /// every function reachable from each tenant's lambda entries).
+  std::map<TenantId, TenantUsage> compute_tenant_usage(
+      const microc::Program& program) const;
   void try_dispatch();
   std::unique_ptr<Flight> pop_next();     // honours the dispatch policy
   void start_execution(std::unique_ptr<Flight> flight);
@@ -185,12 +255,19 @@ class SmartNic {
   std::uint32_t busy_parse_threads_ = 0;
   std::deque<std::unique_ptr<Flight>> parse_queue_;
   std::uint64_t parse_match_cycles_ = 0;  // static estimate, set at deploy
-  // Dispatch queues: single FIFO for uniform mode; per-workload for WFQ.
+  // Dispatch queues: single FIFO for uniform mode; per-scheduling-class
+  // (tenant, or workload when tenant-less) for the DRR policy.
   std::deque<std::unique_ptr<Flight>> fifo_;
-  std::map<WorkloadId, std::deque<std::unique_ptr<Flight>>> wfq_queues_;
-  std::map<WorkloadId, std::int64_t> wfq_deficit_;
-  WfqWeights weights_;
+  std::map<std::uint32_t, std::deque<std::unique_ptr<Flight>>> wfq_queues_;
+  std::map<std::uint32_t, std::int64_t> wfq_deficit_;
+  TenantWeights weights_;
   std::size_t queued_ = 0;
+
+  // Tenancy: workload -> tenant assignments, per-tenant quotas, and the
+  // per-tenant footprint of the currently deployed firmware.
+  std::map<WorkloadId, TenantId> workload_tenants_;
+  std::map<TenantId, TenantQuota> tenant_quotas_;
+  std::map<TenantId, TenantUsage> tenant_usage_;
 
   // RDMA reassembly: (src, request id) -> fragment views received. The
   // fragments land "in EMEM" by reference; reassembly coalesces them

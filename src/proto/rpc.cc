@@ -49,11 +49,13 @@ RpcClient::RpcClient(sim::Simulator& sim, net::Network& network,
 }
 
 void RpcClient::call(NodeId dst, WorkloadId workload, net::BufferView payload,
-                     RpcCallback callback, trace::SpanContext ctx) {
+                     RpcCallback callback, trace::SpanContext ctx,
+                     TenantId tenant) {
   const RequestId id = next_id_++;
   Pending pending;
   pending.dst = dst;
   pending.workload = workload;
+  pending.tenant = tenant;
   pending.payload = std::move(payload);
   pending.callback = std::move(callback);
   pending.sent_at = sim_.now();
@@ -89,6 +91,7 @@ void RpcClient::transmit(RequestId id) {
   net::LambdaHeader hdr;
   hdr.workload_id = p.workload;
   hdr.request_id = id;
+  hdr.tenant_id = p.tenant;
   if (p.call_span != trace::kInvalidSpan) {
     p.attempt_span = tracer_->start_span(p.ctx.trace, p.call_span,
                                          "rpc.attempt", sim_.now());

@@ -86,8 +86,11 @@ class RpcClient {
   /// the call records an `rpc.call` span with one `rpc.attempt` child
   /// per transmission (timed-out attempts are annotated), and every
   /// outgoing packet carries the attempt's span context.
+  /// `tenant` stamps the lambda header's tenant namespace; the default
+  /// keeps legacy single-tenant traffic byte-identical.
   void call(NodeId dst, WorkloadId workload, net::BufferView payload,
-            RpcCallback callback, trace::SpanContext ctx = {});
+            RpcCallback callback, trace::SpanContext ctx = {},
+            TenantId tenant = kDefaultTenant);
 
   /// Attaches (nullptr detaches) the span recorder. Off by default;
   /// recording never affects simulated timing.
@@ -109,6 +112,7 @@ class RpcClient {
   struct Pending {
     NodeId dst;
     WorkloadId workload;
+    TenantId tenant = kDefaultTenant;
     // The request body is retained as a view; retransmissions re-slice
     // the same buffer instead of re-copying the payload.
     net::BufferView payload;

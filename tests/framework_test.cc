@@ -282,6 +282,44 @@ TEST(Manager, SecondDeploymentAddsWorkerReplica) {
   EXPECT_EQ(rig.gateway.route("web_server")->workers.size(), 2u);
 }
 
+TEST(Manager, TenantDeployNamespacesRoutesAndInstallsQuota) {
+  GatewayRig rig;
+  BlobStorage storage;
+  WorkloadManager manager(rig.sim, storage, nullptr);
+  nicsim::TenantQuota quota;
+  quota.instr_store_words = 1 << 20;
+  quota.emem_bytes = 1 << 30;
+  manager.set_tenant_quota("acme", quota);
+
+  std::vector<backends::Backend*> pool = {rig.backend.get()};
+  auto record = manager.deploy(workloads::make_standard_workloads(), pool,
+                               placement_policy(PlacementPolicyKind::kNicFirst),
+                               &rig.gateway, "acme");
+  ASSERT_TRUE(record.ok()) << record.error().message;
+  EXPECT_EQ(record.value().tenant, "acme");
+  EXPECT_NE(record.value().tenant_id, kDefaultTenant);
+  // Routes live in the tenant namespace, carrying the tenant id.
+  EXPECT_FALSE(rig.gateway.has_function("web_server"));
+  ASSERT_TRUE(rig.gateway.has_function("acme/web_server"));
+  EXPECT_EQ(rig.gateway.route("acme/web_server")->tenant,
+            record.value().tenant_id);
+  // The quota and workload assignments landed on the NIC before deploy;
+  // usage is attributed to the tenant.
+  auto& nic = static_cast<backends::LambdaNicBackend&>(*pool[0]).nic();
+  EXPECT_EQ(nic.tenant_of(workloads::kWebServerId), record.value().tenant_id);
+  const nicsim::TenantUsage* usage =
+      nic.tenant_usage(record.value().tenant_id);
+  ASSERT_NE(usage, nullptr);
+  EXPECT_GT(usage->instr_words, 0u);
+  // An impossible quota rejects a re-deploy outright.
+  manager.set_tenant_quota("tiny", nicsim::TenantQuota{.instr_store_words = 1});
+  auto rejected =
+      manager.deploy(workloads::make_standard_workloads(), pool,
+                     placement_policy(PlacementPolicyKind::kNicFirst),
+                     &rig.gateway, "tiny");
+  EXPECT_FALSE(rejected.ok());
+}
+
 TEST(Gateway, RateLimitThrottlesExcessTraffic) {
   // §7 security: the gateway blocks malicious request floods.
   sim::Simulator sim;
@@ -445,6 +483,8 @@ TEST(Monitor, ScrapesBackendGauges) {
   net::Network network(sim);
   auto backend = backends::make_backend(backends::BackendKind::kLambdaNic,
                                         sim, network);
+  backend->set_tenant_of(workloads::kWebServerId, 4);
+  backend->set_tenant_quota(4, {.instr_store_words = 1u << 20});
   ASSERT_TRUE(backend->deploy(workloads::make_standard_workloads()).ok());
   Monitor monitor(sim, milliseconds(100));
   monitor.watch_backend("m2", backend.get());
@@ -455,6 +495,15 @@ TEST(Monitor, ScrapesBackendGauges) {
   EXPECT_GE(monitor.scrapes(), 9u);
   EXPECT_TRUE(monitor.metrics().has("backend_completed{node=m2}"));
   EXPECT_GT(monitor.metrics().gauge("backend_nic_mem_mib{node=m2}"), 0.0);
+  // Per-tenant footprint + quota gauges for the assigned tenant.
+  EXPECT_GT(
+      monitor.metrics().gauge("nic_tenant_instr_words{node=m2,tenant=4}"),
+      0.0);
+  EXPECT_TRUE(monitor.metrics().has(
+      "nic_tenant_mem_bytes{node=m2,region=emem,tenant=4}"));
+  EXPECT_EQ(monitor.metrics().gauge(
+                "nic_tenant_quota_instr_words{node=m2,tenant=4}"),
+            static_cast<double>(1u << 20));
 }
 
 TEST(HealthChecker, RemovesDeadWorkerFromRoutes) {
@@ -569,6 +618,9 @@ TEST(Autoscaler, ScalesUpUnderLoadAndBackDown) {
   config.evaluation_period = milliseconds(100);
   config.target_rps_per_replica = 100.0;
   config.max_replicas = 10;
+  // Short hysteresis so the scale-down lands inside the test window.
+  config.scale_down_evals = 2;
+  config.scale_down_cooldown = milliseconds(200);
   Autoscaler scaler(sim, gateway, config,
                     [&](const std::string& name, std::uint32_t replicas) {
                       provisioned[name] = replicas;
@@ -592,6 +644,229 @@ TEST(Autoscaler, ScalesUpUnderLoadAndBackDown) {
   sim.run();
   EXPECT_EQ(scaler.replicas("hot"), config.min_replicas);
   EXPECT_GT(scaler.scale_events(), 1u);
+}
+
+// ------------------------------------------------------------ tenancy
+
+TEST(Gateway, TenantReplicaEncodingRoundTrips) {
+  const std::vector<Replica> replicas = {Replica{1, 2, 0},
+                                         Replica{2, 1, kUnknownBackendKind}};
+  const auto encoded = Gateway::encode_replicas(7, replicas, 3);
+  EXPECT_EQ(encoded, "7~3|1*2@0,2");
+  const auto decoded = Gateway::decode_route(encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().workload, 7u);
+  EXPECT_EQ(decoded.value().tenant, 3u);
+  EXPECT_EQ(decoded.value().replicas, replicas);
+  // The default tenant keeps the legacy encoding byte-for-byte.
+  EXPECT_EQ(Gateway::encode_replicas(7, replicas), "7|1*2@0,2");
+  const auto legacy = Gateway::decode_route("7|1,2");
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_EQ(legacy.value().tenant, kDefaultTenant);
+  // Malformed tenant suffixes are rejected.
+  EXPECT_FALSE(Gateway::decode_route("7~|1").ok());
+  EXPECT_FALSE(Gateway::decode_route("7~0|1").ok());
+  EXPECT_FALSE(Gateway::decode_route("7~x|1").ok());
+  EXPECT_FALSE(Gateway::decode_route("~3|1").ok());
+}
+
+TEST(Gateway, TenantRouteStampsHeaderAndLabelsMetrics) {
+  sim::Simulator sim;
+  net::Network network(sim);
+  TenantId seen_tenant = kDefaultTenant;
+  NodeId worker = network.attach(nullptr);
+  network.set_handler(worker, [&](const net::Packet& p) {
+    if (p.kind != net::PacketKind::kRequest) return;
+    seen_tenant = p.lambda.tenant_id;
+    net::Packet reply;
+    reply.src = worker;
+    reply.dst = p.src;
+    reply.kind = net::PacketKind::kResponse;
+    reply.lambda = p.lambda;
+    network.send(reply);
+  });
+  Gateway gateway(sim, network);
+  const TenantId acme = gateway.register_tenant("acme");
+  EXPECT_EQ(acme, 1u);
+  EXPECT_EQ(gateway.register_tenant("acme"), acme);  // idempotent
+  gateway.register_replicas("acme/echo", 5,
+                            {Replica{worker, 1, kUnknownBackendKind}}, acme);
+
+  std::optional<Result<proto::RpcResponse>> got;
+  gateway.invoke("acme/echo", {},
+                 [&](Result<proto::RpcResponse> r) { got = std::move(r); });
+  sim.run();
+  ASSERT_TRUE(got.has_value());
+  ASSERT_TRUE(got->ok());
+  // The tenant id rode the lambda header to the worker.
+  EXPECT_EQ(seen_tenant, acme);
+  // Metrics carry the tenant label; the tenant-less series stays clean.
+  const Labels labeled = gateway.metric_labels("acme/echo");
+  EXPECT_EQ(gateway.metrics().counter("gateway_requests_total", labeled)
+                .value(),
+            1u);
+  EXPECT_EQ(
+      gateway.metrics()
+          .counter("gateway_requests_total", {{"fn", "acme/echo"}})
+          .value(),
+      0u);
+}
+
+TEST(Autoscaler, TrackProvisionsMinReplicasImmediately) {
+  sim::Simulator sim;
+  net::Network network(sim);
+  Gateway gateway(sim, network);
+  std::map<std::string, std::uint32_t> provisioned;
+  AutoscalerConfig config;
+  config.min_replicas = 2;
+  Autoscaler scaler(sim, gateway, config,
+                    [&](const std::string& name, std::uint32_t replicas) {
+                      provisioned[name] = replicas;
+                    });
+  scaler.track("f");
+  // The floor is provisioned on track(), not first evaluation.
+  EXPECT_EQ(provisioned["f"], 2u);
+  EXPECT_EQ(scaler.replicas("f"), 2u);
+  // Re-tracking is a no-op, not a re-provision.
+  provisioned.clear();
+  scaler.track("f");
+  EXPECT_TRUE(provisioned.empty());
+}
+
+TEST(Autoscaler, ScaleDownWaitsForStreakAndCooldown) {
+  sim::Simulator sim;
+  net::Network network(sim);
+  Gateway gateway(sim, network);
+  NodeId worker = network.attach(nullptr);
+  network.set_handler(worker, [&](const net::Packet& p) {
+    if (p.kind != net::PacketKind::kRequest) return;
+    net::Packet reply;
+    reply.src = worker;
+    reply.dst = p.src;
+    reply.kind = net::PacketKind::kResponse;
+    reply.lambda = p.lambda;
+    network.send(reply);
+  });
+  gateway.register_function("f", 1, {worker});
+
+  AutoscalerConfig config;
+  config.evaluation_period = milliseconds(100);
+  config.target_rps_per_replica = 100.0;
+  config.max_replicas = 10;
+  config.scale_down_evals = 3;
+  config.scale_down_cooldown = seconds(1);
+  std::uint32_t downs = 0;
+  std::uint32_t last = config.min_replicas;
+  Autoscaler scaler(sim, gateway, config,
+                    [&](const std::string&, std::uint32_t replicas) {
+                      if (replicas < last) ++downs;
+                      last = replicas;
+                    });
+  scaler.track("f");
+  scaler.start();
+
+  // Bursty on-off load: 100 ms of ~1000 rps, then 200 ms idle, repeated.
+  // Idle gaps produce at most 2 consecutive low evaluations — under the
+  // streak of 3 — so the pre-hysteresis scaler would flap down/up every
+  // cycle while this one must hold its size.
+  sim::PeriodicTimer load(sim, milliseconds(1), [&] {
+    gateway.invoke("f", {}, nullptr);
+  });
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    load.start();
+    sim.run_until(sim.now() + milliseconds(100));
+    load.stop();
+    sim.run_until(sim.now() + milliseconds(200));
+  }
+  EXPECT_EQ(downs, 0u);
+  EXPECT_GE(scaler.replicas("f"), 5u);
+
+  // A sustained quiet period finally releases capacity — once, to the
+  // floor, not step-by-flapping-step.
+  sim.run_until(sim.now() + seconds(3));
+  scaler.stop();
+  sim.run();
+  EXPECT_EQ(scaler.replicas("f"), config.min_replicas);
+  EXPECT_EQ(downs, 1u);
+}
+
+TEST(Autoscaler, ScalesFromZeroOnOfferedSignal) {
+  sim::Simulator sim;
+  net::Network network(sim);
+  Gateway gateway(sim, network);
+
+  AutoscalerConfig config;
+  config.evaluation_period = milliseconds(100);
+  config.target_rps_per_replica = 100.0;
+  config.min_replicas = 0;
+  std::uint32_t provisioned = 123;
+  Autoscaler scaler(sim, gateway, config,
+                    [&](const std::string&, std::uint32_t replicas) {
+                      provisioned = replicas;
+                    });
+  scaler.track("cold");
+  EXPECT_EQ(provisioned, 0u);  // scale-to-zero floor
+
+  // No gateway route exists, so gateway_requests_total never moves; the
+  // offered count from the SLO signal is the only wake-up source.
+  std::uint64_t offered = 0;
+  scaler.set_signal([&](const std::string&) {
+    SloSignal signal;
+    signal.valid = true;
+    signal.offered = offered;
+    return signal;
+  });
+  scaler.start();
+  sim.run_until(milliseconds(150));
+  EXPECT_EQ(scaler.replicas("cold"), 0u);
+
+  offered = 50;  // 50 requests arrive while scaled to zero
+  sim.run_until(milliseconds(250));
+  scaler.stop();
+  sim.run();
+  EXPECT_GE(scaler.replicas("cold"), 1u);
+  EXPECT_GE(provisioned, 1u);
+}
+
+TEST(Autoscaler, HighP99GrowsReplicasBeyondRateTarget) {
+  sim::Simulator sim;
+  net::Network network(sim);
+  Gateway gateway(sim, network);
+
+  AutoscalerConfig config;
+  config.evaluation_period = milliseconds(100);
+  config.target_rps_per_replica = 1000.0;  // rate alone says 1 replica
+  config.target_p99_ms = 5.0;
+  config.max_replicas = 4;
+  Autoscaler scaler(sim, gateway, config,
+                    [](const std::string&, std::uint32_t) {});
+  scaler.track("slow");
+
+  std::uint64_t offered = 0;
+  double p99 = 20.0;  // way over the 5 ms target
+  scaler.set_signal([&](const std::string&) {
+    SloSignal signal;
+    signal.valid = true;
+    signal.offered = offered;
+    signal.p99_ms = p99;
+    return signal;
+  });
+  scaler.start();
+
+  // ~10 rps of demand with a violated p99: rate says stay at 1, the
+  // latency signal forces +1 per evaluation up to the cap.
+  sim::PeriodicTimer demand(sim, milliseconds(100), [&] { offered += 1; });
+  demand.start();
+  sim.run_until(milliseconds(450));
+  EXPECT_GE(scaler.replicas("slow"), 3u);
+
+  p99 = 1.0;  // back under target: growth stops (no further ups)
+  const std::uint32_t at_recovery = scaler.replicas("slow");
+  sim.run_until(milliseconds(750));
+  demand.stop();
+  scaler.stop();
+  sim.run();
+  EXPECT_EQ(scaler.replicas("slow"), at_recovery);
 }
 
 // --------------------------------------------- quarantine and overload

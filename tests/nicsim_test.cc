@@ -253,7 +253,7 @@ TEST(SmartNic, WfqSharesServiceBetweenWorkloads) {
   config.dispatch = DispatchPolicy::kWfq;
   config.max_queue_depth = 100000;
   Rig rig(config);
-  rig.nic->set_wfq_weights({{workloads::kWebServerId, 3},
+  rig.nic->set_drr_weights({{workloads::kWebServerId, 3},
                             {workloads::kKvGetId, 1}});
   for (int i = 0; i < 400; ++i) {
     rig.send(workloads::kWebServerId, encode_web_request(0),
@@ -323,6 +323,156 @@ TEST(SmartNic, ServiceCyclesRecorded) {
   rig.sim.run();
   ASSERT_EQ(rig.nic->stats().service_cycles.count(), 1u);
   EXPECT_GT(rig.nic->stats().service_cycles.mean(), 100.0);
+}
+
+// ----------------------------------------------- tenancy and DRR fixes
+
+/// Rig over a web farm (identical lambdas, workload IDs 1..count): with
+/// uniform service times, completion order equals DRR pop order, which
+/// the scheduler tests below assert on directly.
+struct FarmRig {
+  sim::Simulator sim;
+  net::Network network{sim};
+  std::unique_ptr<SmartNic> nic;
+  NodeId client = kInvalidNode;
+  std::vector<Packet> responses;
+
+  FarmRig(NicConfig config, std::uint32_t farm) {
+    nic = std::make_unique<SmartNic>(sim, network, config);
+    client = network.attach([this](const Packet& p) {
+      if (p.kind == PacketKind::kResponse) responses.push_back(p);
+    });
+    auto bundle = workloads::make_web_farm(farm);
+    auto compiled = compiler::compile(bundle.spec, std::move(bundle.lambdas));
+    EXPECT_TRUE(compiled.ok());
+    EXPECT_TRUE(nic->deploy(std::move(compiled).value()).ok());
+    sim.run_until(seconds(20));
+  }
+
+  void send(WorkloadId wid, RequestId request_id) {
+    net::LambdaHeader hdr;
+    hdr.workload_id = wid;
+    hdr.request_id = request_id;
+    auto frags = net::fragment(client, nic->node(), PacketKind::kRequest, hdr,
+                               encode_web_request(0));
+    for (auto& f : frags) network.send(std::move(f));
+  }
+};
+
+NicConfig one_thread_wfq() {
+  NicConfig config;
+  config.islands = 1;
+  config.cores_per_island = 3;
+  config.reserved_cores = 2;
+  config.threads_per_core = 1;  // exactly one lambda thread: serial pops
+  config.dispatch = DispatchPolicy::kWfq;
+  config.max_queue_depth = 100000;
+  return config;
+}
+
+TEST(SmartNic, DrrSharesServiceBetweenTenants) {
+  // Three identical web lambdas assigned to tenants weighted 4:2:1.
+  // Service times are uniform, so completions must track the weights
+  // while every tenant stays backlogged.
+  FarmRig rig(one_thread_wfq(), 3);
+  rig.nic->set_tenant(1, 10);
+  rig.nic->set_tenant(2, 20);
+  rig.nic->set_tenant(3, 30);
+  rig.nic->set_drr_weights({{10, 4}, {20, 2}, {30, 1}});
+  for (int i = 0; i < 2000; ++i) {
+    for (WorkloadId wid = 1; wid <= 3; ++wid) {
+      rig.send(wid, static_cast<RequestId>(10000 * wid + i));
+    }
+  }
+  rig.sim.run_until(rig.sim.now() + milliseconds(20));
+  std::size_t done[4] = {0, 0, 0, 0};
+  for (const auto& p : rig.responses) ++done[p.lambda.workload_id];
+  ASSERT_GT(done[3], 10u);
+  ASSERT_LT(done[1] + done[2] + done[3], 6000u);  // all still backlogged
+  const double hi = static_cast<double>(done[1]) / static_cast<double>(done[2]);
+  const double lo = static_cast<double>(done[2]) / static_cast<double>(done[3]);
+  EXPECT_GT(hi, 1.7);
+  EXPECT_LT(hi, 2.3);
+  EXPECT_GT(lo, 1.7);
+  EXPECT_LT(lo, 2.3);
+  // Completions are accounted per scheduling class = tenant id.
+  EXPECT_EQ(rig.nic->stats().completed_by_class.count(10), 1u);
+  EXPECT_EQ(rig.nic->stats().completed_by_class.count(30), 1u);
+  EXPECT_EQ(rig.nic->stats().completed_by_class.count(1), 0u);
+}
+
+TEST(SmartNic, DrrDeficitResetsWhenQueueDrains) {
+  // Regression for the stale-deficit bug: a class that drained its queue
+  // used to keep unspent credit and burst ahead when it returned.
+  // Weights w1=3, w2=1, one thread. A lone w1 request drains w1's queue
+  // with 2 credits left. Then 5 w1 + 1 w2 queue up while the thread is
+  // busy. Fixed DRR pops W1 W1 W1 W2 W1 W1 (w2's top-up credit is spent
+  // in round order); the stale deficit made it W1 x5 then W2.
+  FarmRig rig(one_thread_wfq(), 2);
+  rig.nic->set_drr_weights({{1, 3}, {2, 1}});
+  rig.send(1, 1);  // prime: drains w1's queue mid-round
+  for (RequestId id = 2; id <= 6; ++id) rig.send(1, id);
+  rig.send(2, 7);
+  rig.sim.run();
+  ASSERT_EQ(rig.responses.size(), 7u);
+  std::vector<WorkloadId> order;
+  for (const auto& p : rig.responses) order.push_back(p.lambda.workload_id);
+  EXPECT_EQ(order, (std::vector<WorkloadId>{1, 1, 1, 1, 2, 1, 1}));
+}
+
+TEST(SmartNic, UndeployTenantDropsQueuedAndCleansScheduler) {
+  FarmRig rig(one_thread_wfq(), 2);
+  rig.nic->set_tenant(1, 5);
+  rig.nic->set_drr_weights({{5, 2}, {2, 1}});
+  for (RequestId id = 1; id <= 500; ++id) rig.send(1, id);
+  for (RequestId id = 501; id <= 510; ++id) rig.send(2, id);
+  // Let a few complete, then evict tenant 5 with most of its backlog
+  // still queued.
+  rig.sim.run_until(rig.sim.now() + microseconds(500));
+  rig.nic->undeploy_tenant(5);
+  EXPECT_EQ(rig.nic->tenant_of(1), kDefaultTenant);
+  EXPECT_GT(rig.nic->stats().requests_dropped_undeploy, 0u);
+  // The evicted class's scheduler state is erased, not left as an empty
+  // queue; tenant 2's class (workload 2 has no tenant) lives on.
+  EXPECT_LE(rig.nic->drr_class_count(), 1u);
+  rig.sim.run();
+  // Tenant 2's traffic was untouched.
+  std::size_t w2 = 0;
+  for (const auto& p : rig.responses) w2 += p.lambda.workload_id == 2;
+  EXPECT_EQ(w2, 10u);
+  // Every workload-1 request either completed or was dropped by the
+  // eviction (arrivals after it fall back to the workload-id class).
+  const std::size_t served = rig.responses.size() - w2;
+  EXPECT_EQ(served + rig.nic->stats().requests_dropped_undeploy, 500u);
+}
+
+TEST(SmartNic, TenantQuotaRejectsDeployAndPreservesOldFirmware) {
+  Rig rig;  // standard workloads already serving, no tenants yet
+  // Assign the web lambda to tenant 9 with an impossible quota, then
+  // hot-swap: admission must reject before any state changes.
+  rig.nic->set_tenant(workloads::kWebServerId, 9);
+  rig.nic->set_tenant_quota(9, TenantQuota{.instr_store_words = 1});
+  auto bundle = workloads::make_standard_workloads();
+  auto compiled = compiler::compile(bundle.spec, std::move(bundle.lambdas));
+  ASSERT_TRUE(compiled.ok());
+  auto swap = rig.nic->deploy(std::move(compiled).value());
+  ASSERT_FALSE(swap.ok());
+  EXPECT_NE(swap.error().message.find("tenant 9"), std::string::npos);
+  // The old firmware is still serving — no downtime from the rejection.
+  rig.send(workloads::kWebServerId, encode_web_request(1), 1);
+  rig.sim.run();
+  ASSERT_EQ(rig.responses.size(), 1u);
+
+  // A generous quota admits the same bundle and records usage.
+  rig.nic->set_tenant_quota(9, TenantQuota{.instr_store_words = 1 << 20,
+                                           .emem_bytes = 1 << 30});
+  bundle = workloads::make_standard_workloads();
+  compiled = compiler::compile(bundle.spec, std::move(bundle.lambdas));
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_TRUE(rig.nic->deploy(std::move(compiled).value()).ok());
+  const TenantUsage* usage = rig.nic->tenant_usage(9);
+  ASSERT_NE(usage, nullptr);
+  EXPECT_GT(usage->instr_words, 0u);
 }
 
 }  // namespace

@@ -2,7 +2,8 @@
 """Validate a BENCH_perf_*.json file from the wall-clock perf suite.
 
 Usage: check_perf.py <BENCH_perf_engine.json | BENCH_perf_datapath.json
-                      | BENCH_perf_parallel.json>
+                      | BENCH_perf_parallel.json
+                      | BENCH_supp_multitenant.json>
 
 Checks the JSON schema (bench name, seed, shard count, metric list with
 name/value/unit) and bench-specific invariants:
@@ -19,6 +20,11 @@ name/value/unit) and bench-specific invariants:
   4-shard aggregate events/sec is at least 2x the 1-shard rate — but
   that speedup floor is enforced only when the recorded hw_threads >= 4,
   since the parallelism physically cannot show on a 1-2 core box.
+- supp_multitenant: per-tenant SLO rows present for every scenario; the
+  noisy-neighbor victim's shared-card p99 within 1.25x its isolated
+  baseline while the aggressor oversubscribes its DRR weight share by
+  >= 10x; the scale-to-zero tenant took cold failures and released all
+  replicas again. Simulated-time metrics: exact, no machine noise.
 
 Exit code 0 on success.
 """
@@ -163,6 +169,58 @@ def check_parallel(doc):
           f"completed={completed:.0f}/point " + verdict)
 
 
+def check_multitenant(doc):
+    got = metrics_by_name(doc)
+    # Per-tenant SLO rows must be present for every scenario.
+    tenants = (
+        "noisy/victim_isolated",
+        "noisy/victim_shared",
+        "noisy/aggressor_shared",
+        "burst/gold",
+        "burst/silver",
+        "burst/bronze",
+        "scalezero/idlecorp",
+    )
+    for tenant in tenants:
+        for suffix in ("/offered", "/goodput", "/p99"):
+            if tenant + suffix not in got:
+                fail(f"supp_multitenant missing per-tenant row "
+                     f"'{tenant + suffix}'")
+        if got[tenant + "/offered"] <= 0:
+            fail(f"{tenant}/offered is zero — scenario did not run")
+    # Noisy neighbor: DRR must hold the victim's p99 within 25% of the
+    # isolated baseline while the aggressor oversubscribes its weight
+    # share by at least 10x.
+    isolated = got["noisy/victim_isolated/p99"]
+    shared = got["noisy/victim_shared/p99"]
+    if isolated <= 0:
+        fail("noisy/victim_isolated/p99 is zero — baseline did not run")
+    if shared > 1.25 * isolated:
+        fail(
+            f"victim p99 {shared:.3f} ms exceeds 1.25x the isolated "
+            f"baseline {isolated:.3f} ms — tenant isolation regressed"
+        )
+    if got.get("noisy/aggressor_offered_over_share", 0.0) < 10.0:
+        fail(
+            "aggressor offered only "
+            f"{got.get('noisy/aggressor_offered_over_share', 0.0):.1f}x its "
+            "weight share; the noisy-neighbor scenario must saturate at "
+            ">= 10x"
+        )
+    # Scale-to-zero: the burst must hit a parked tenant (cold failures)
+    # and the loop must release every replica again afterwards.
+    if got.get("scalezero/cold_failures", 0.0) <= 0:
+        fail("scalezero/cold_failures is zero — tenant was not parked")
+    if got.get("scalezero/final_replicas", -1.0) != 0:
+        fail("scalezero/final_replicas nonzero — scale-down never landed")
+    print(
+        "check_perf: OK supp_multitenant "
+        f"victim p99 {shared:.3f}/{isolated:.3f} ms "
+        f"({shared / isolated:.2f}x <= 1.25x), aggressor "
+        f"{got['noisy/aggressor_offered_over_share']:.1f}x share"
+    )
+
+
 def main():
     if len(sys.argv) != 2:
         print(__doc__)
@@ -174,6 +232,8 @@ def main():
         check_datapath(doc)
     elif doc["bench"] == "perf_parallel":
         check_parallel(doc)
+    elif doc["bench"] == "supp_multitenant":
+        check_multitenant(doc)
     else:
         fail(f"unknown bench '{doc['bench']}'")
 
