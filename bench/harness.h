@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "backends/backend.h"
+#include "common/flightrec.h"
 #include "common/stats.h"
 #include "common/types.h"
 #include "kvstore/cache_server.h"
@@ -100,6 +101,16 @@ class BackendRig {
 
 inline void print_header(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Failure exit for benches with a self-check: prints the reason plus
+/// the flight recorder's last-anomalies ring (the always-on context for
+/// "what went wrong just before"), then returns the nonzero exit code
+/// for main() to propagate.
+inline int bench_fail(const std::string& why) {
+  std::fprintf(stderr, "\nBENCH FAILURE: %s\n%s", why.c_str(),
+               flightrec::FlightRecorder::global().dump().c_str());
+  return 1;
 }
 
 /// ECDF printed at fixed fractions, in milliseconds (Fig. 6/8 format).

@@ -17,7 +17,9 @@
 // 4-shard speedup floor only where 4 cores actually exist.
 //
 // Usage: perf_parallel [--smoke]
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -52,6 +54,7 @@ struct SweepPoint {
   std::uint64_t completed = 0;       // deterministic per shard count
   std::uint64_t cross_posts = 0;
   std::uint64_t windows = 0;
+  sim::ShardStats stats;             // busy/barrier/sync stall breakdown
 };
 
 SweepPoint run_point(unsigned shards, std::uint64_t requests_per_island,
@@ -117,7 +120,25 @@ SweepPoint run_point(unsigned shards, std::uint64_t requests_per_island,
   for (const Island& island : islands) point.completed += island.completed;
   point.cross_posts = sharded.cross_shard_posts();
   point.windows = sharded.windows_executed();
+  point.stats = sharded.shard_stats();
   return point;
+}
+
+/// Worst per-shard deviation of busy + barrier + sync from the run's
+/// total wall, in percent. The accounting makes this ~0 by construction;
+/// anything above the 1% gate means the collector's identity broke.
+double stall_sum_error_pct(const sim::ShardStats& stats) {
+  if (stats.total_wall_ns == 0) return 0.0;
+  double worst = 0.0;
+  for (unsigned s = 0; s < stats.shards; ++s) {
+    const double sum = static_cast<double>(
+        stats.busy_ns[s] + stats.barrier_ns[s] + stats.sync_wall_ns());
+    const double err =
+        std::abs(sum - static_cast<double>(stats.total_wall_ns)) /
+        static_cast<double>(stats.total_wall_ns) * 100.0;
+    worst = std::max(worst, err);
+  }
+  return worst;
 }
 
 int run(std::uint64_t requests_per_island, std::uint32_t concurrency,
@@ -138,6 +159,7 @@ int run(std::uint64_t requests_per_island, std::uint32_t concurrency,
 
   double base_rate = 0.0;
   double rate_at_4 = 0.0;
+  double worst_sum_err = 0.0;
   for (const unsigned shards : sweep) {
     const SweepPoint p = run_point(shards, requests_per_island, concurrency);
     std::printf("  %8u %16.0f %14llu %12llu %12llu %10llu\n", shards,
@@ -154,6 +176,27 @@ int run(std::uint64_t requests_per_island, std::uint32_t concurrency,
             "requests");
     out.add(cell + "_cross_posts", static_cast<double>(p.cross_posts),
             "events");
+    // Stall breakdown: *why* the shardsN row scales (or plateaus) — a
+    // high barrier share means load imbalance across islands, a high
+    // sync share means windows too short to amortize the serial merge.
+    const double sum_err = stall_sum_error_pct(p.stats);
+    worst_sum_err = std::max(worst_sum_err, sum_err);
+    std::uint64_t busy_total = 0;
+    std::uint64_t barrier_total = 0;
+    for (unsigned s = 0; s < p.stats.shards; ++s) {
+      busy_total += p.stats.busy_ns[s];
+      barrier_total += p.stats.barrier_ns[s];
+    }
+    out.add(cell + "_busy_ns", static_cast<double>(busy_total), "ns");
+    out.add(cell + "_barrier_ns", static_cast<double>(barrier_total), "ns");
+    out.add(cell + "_sync_ns", static_cast<double>(p.stats.sync_wall_ns()),
+            "ns");
+    out.add(cell + "_wall_ns", static_cast<double>(p.stats.total_wall_ns),
+            "ns");
+    out.add(cell + "_stall_sum_err_pct", sum_err, "%");
+    out.add(cell + "_lookahead_util", p.stats.lookahead_utilization,
+            "ratio");
+    std::printf("  -- %s", p.stats.to_string().c_str());
     if (shards == 1) base_rate = p.events_per_sec;
     if (shards == 4) rate_at_4 = p.events_per_sec;
   }
@@ -163,6 +206,12 @@ int run(std::uint64_t requests_per_island, std::uint32_t concurrency,
                 hw < 4 ? " (machine has <4 hw threads; not meaningful)"
                        : "");
     out.add("speedup_4x", speedup, "ratio");
+  }
+  std::printf("  worst stall-breakdown sum error: %.3f%% of wall\n",
+              worst_sum_err);
+  if (worst_sum_err > 1.0) {
+    return bench_fail("stall breakdown does not sum to wall time (" +
+                      std::to_string(worst_sum_err) + "% off)");
   }
   return 0;
 }

@@ -7,9 +7,15 @@
 // recording cost (span allocation, annotation strings, JSON export),
 // which is the only real overhead a user pays.
 //
-// Three rows: tracing off, sampled (1/16 of requests), and full (every
-// request). All three must agree on every simulated statistic.
+// Four rows: tracing off, sampled (1/16 of requests), full (every
+// request), and full plus the NPU-grid profiler. All four must agree on
+// every simulated statistic. Two more sections cover the rest of the
+// observability plane: the flight recorder's per-record wall cost, and
+// a 2-shard rerun asserting that shard stall accounting neither
+// perturbs the simulation nor breaks its busy+barrier+sync == wall
+// identity.
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 
 #include "bench/harness.h"
@@ -33,7 +39,7 @@ struct RunResult {
 };
 
 RunResult run(double sample_rate, std::uint64_t total,
-              std::uint32_t senders) {
+              std::uint32_t senders, bool profile = false) {
   const auto wall_start = std::chrono::steady_clock::now();
 
   sim::Simulator sim;
@@ -47,6 +53,10 @@ RunResult run(double sample_rate, std::uint64_t total,
   w1->set_kv_server(cache.node());
   if (!w0->deploy(workloads::make_standard_workloads()).ok()) return {};
   if (!w1->deploy(workloads::make_standard_workloads()).ok()) return {};
+  if (profile) {
+    dynamic_cast<backends::LambdaNicBackend&>(*w0).nic().enable_profiler();
+    dynamic_cast<backends::LambdaNicBackend&>(*w1).nic().enable_profiler();
+  }
   sim.run_until(seconds(20));  // firmware load
 
   framework::Gateway gateway(sim, network);
@@ -103,6 +113,76 @@ bool identical(const RunResult& a, const RunResult& b) {
          a.completed == b.completed;
 }
 
+/// Wall cost of one flight-recorder append, measured on a private ring
+/// (the global one stays reserved for real anomalies). Also checks the
+/// ring honors its bound under sustained overflow.
+struct FlightrecCost {
+  double ns_per_record = 0.0;
+  bool bounded = false;
+};
+
+FlightrecCost measure_flightrec(std::uint64_t records) {
+  flightrec::FlightRecorder ring;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < records; ++i) {
+    ring.record(static_cast<SimTime>(i), flightrec::Kind::kOther, i, i >> 1,
+                "synthetic anomaly");
+  }
+  const double ns = std::chrono::duration<double, std::nano>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  FlightrecCost cost;
+  cost.ns_per_record = records > 0 ? ns / static_cast<double>(records) : 0.0;
+  cost.bounded = ring.snapshot().size() <= ring.capacity() &&
+                 ring.recorded() == records &&
+                 ring.evicted() == records - ring.capacity();
+  return cost;
+}
+
+/// One 2-shard closed-loop run with stall accounting live the whole
+/// time. Returns the simulated stats (for the rerun-identity check) and
+/// the collector snapshot (for the sum-to-wall identity).
+struct ShardRun {
+  RunResult result;
+  sim::ShardStats stats;
+};
+
+ShardRun run_sharded(std::uint64_t total) {
+  BackendRig rig(backends::BackendKind::kLambdaNic, /*worker_threads=*/56,
+                 /*shards=*/2);
+  WorkloadCase test;
+  test.name = "web";
+  test.workload = workloads::kWebServerId;
+  test.payload = [](std::uint64_t i) {
+    return workloads::encode_web_request(i & 3);
+  };
+  test.requests = total;
+  const Sampler latency = rig.run_closed_loop(test, /*concurrency=*/8);
+  ShardRun run;
+  run.result.count = latency.count();
+  run.result.mean_ns = latency.mean();
+  run.result.p50_ns = latency.median();
+  run.result.p99_ns = latency.p99();
+  run.result.completed = rig.backend().completed();
+  run.stats = rig.sharded().shard_stats();
+  return run;
+}
+
+/// Worst per-shard |busy + barrier + sync - wall| / wall, in percent.
+double stall_sum_error_pct(const sim::ShardStats& stats) {
+  if (stats.total_wall_ns == 0) return 0.0;
+  double worst = 0.0;
+  for (unsigned s = 0; s < stats.shards; ++s) {
+    const double sum = static_cast<double>(
+        stats.busy_ns[s] + stats.barrier_ns[s] + stats.sync_wall_ns());
+    const double err =
+        std::abs(sum - static_cast<double>(stats.total_wall_ns)) /
+        static_cast<double>(stats.total_wall_ns) * 100.0;
+    if (err > worst) worst = err;
+  }
+  return worst;
+}
+
 }  // namespace
 
 int main() {
@@ -115,6 +195,7 @@ int main() {
   const RunResult off = run(0.0, kTotal, kSenders);
   const RunResult sampled = run(1.0 / 16.0, kTotal, kSenders);
   const RunResult full = run(1.0, kTotal, kSenders);
+  const RunResult profiled = run(1.0, kTotal, kSenders, /*profile=*/true);
 
   std::printf("\n  %-16s %10s %12s %12s %9s %10s %11s\n", "tracing",
               "requests", "p50 (us)", "p99 (us)", "spans", "wall (ms)",
@@ -127,8 +208,11 @@ int main() {
   row("off", off);
   row("sampled 1/16", sampled);
   row("full", full);
+  row("full + profiler", profiled);
 
-  const bool sim_identical = identical(off, sampled) && identical(off, full);
+  const bool sim_identical = identical(off, sampled) &&
+                             identical(off, full) &&
+                             identical(off, profiled);
   const double wall_overhead_pct =
       off.wall_ms > 0.0 ? (full.wall_ms - off.wall_ms) / off.wall_ms * 100.0
                         : 0.0;
@@ -149,5 +233,46 @@ int main() {
                   : 0.0,
               "%");
 
-  return sim_identical ? 0 : 1;
+  // -- flight recorder: per-record wall cost, ring stays bounded --------
+  constexpr std::uint64_t kFlightrecRecords = 1'000'000;
+  const FlightrecCost fr = measure_flightrec(kFlightrecRecords);
+  std::printf("\n  flight recorder: %.0f ns/record over %llu appends, "
+              "ring bounded: %s\n",
+              fr.ns_per_record,
+              static_cast<unsigned long long>(kFlightrecRecords),
+              fr.bounded ? "yes" : "NO");
+  summary.add("flightrec_ns_per_record", fr.ns_per_record, "ns");
+  summary.add("flightrec_bounded", fr.bounded ? 1.0 : 0.0, "bool");
+
+  // -- shard stall accounting: no perturbation, sums to wall -----------
+  constexpr std::uint64_t kShardTotal = 1000;
+  const ShardRun shard_a = run_sharded(kShardTotal);
+  const ShardRun shard_b = run_sharded(kShardTotal);
+  const bool shard_identical = identical(shard_a.result, shard_b.result);
+  const double shard_sum_err =
+      std::max(stall_sum_error_pct(shard_a.stats),
+               stall_sum_error_pct(shard_b.stats));
+  std::printf("  2-shard rerun identical with stall accounting on: %s\n",
+              shard_identical ? "yes" : "NO (determinism regression!)");
+  std::printf("  stall breakdown sum error: %.3f%% of wall "
+              "(%llu windows)\n",
+              shard_sum_err,
+              static_cast<unsigned long long>(shard_a.stats.windows));
+  summary.add("shard_identical", shard_identical ? 1.0 : 0.0, "bool");
+  summary.add("shard_stall_sum_err_pct", shard_sum_err, "%");
+
+  if (!sim_identical) {
+    return bench_fail("simulated stats differ across tracing rows");
+  }
+  if (!shard_identical) {
+    return bench_fail("2-shard rerun differs with stall accounting on");
+  }
+  if (!fr.bounded) {
+    return bench_fail("flight recorder ring exceeded its bound");
+  }
+  if (shard_sum_err > 1.0) {
+    return bench_fail("shard stall breakdown does not sum to wall (" +
+                      std::to_string(shard_sum_err) + "% off)");
+  }
+  return 0;
 }

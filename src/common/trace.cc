@@ -153,6 +153,13 @@ std::string TraceRecorder::to_chrome_json() const {
   std::ostringstream out;
   out << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
   bool first = true;
+  append_chrome_events(out, first);
+  out << "]}";
+  return out.str();
+}
+
+void TraceRecorder::append_chrome_events(std::ostream& out,
+                                         bool& first) const {
   for (const auto& span : spans_) {
     if (!first) out << ",";
     first = false;
@@ -173,8 +180,6 @@ std::string TraceRecorder::to_chrome_json() const {
     }
     out << "}}";
   }
-  out << "]}";
-  return out.str();
 }
 
 CriticalPath TraceRecorder::critical_path(TraceId trace) const {

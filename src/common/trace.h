@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <string>
 #include <vector>
@@ -103,6 +104,12 @@ class TraceRecorder {
   /// one tid per component track). Open spans export with zero
   /// duration and an "open":"true" arg.
   std::string to_chrome_json() const;
+
+  /// Appends this recorder's spans as the bare trace_event objects that
+  /// to_chrome_json wraps — lets a merged timeline share one
+  /// `traceEvents` array with other event sources. `first` tracks comma
+  /// placement across appends.
+  void append_chrome_events(std::ostream& out, bool& first) const;
 
   /// Exact decomposition of `trace`'s root span (see CriticalPath).
   CriticalPath critical_path(TraceId trace) const;

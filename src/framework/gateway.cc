@@ -5,6 +5,8 @@
 #include <optional>
 #include <sstream>
 
+#include "common/flightrec.h"
+
 namespace lnic::framework {
 
 std::uint64_t Route::total_weight() const {
@@ -200,6 +202,9 @@ void Gateway::invoke(const std::string& name, net::BufferView payload,
 void Gateway::shed(const std::string& name, InvokeCallback& callback,
                    const char* reason) {
   metrics_.counter("gateway_shed_total", {{"fn", name}}).increment();
+  flightrec::FlightRecorder::global().record(
+      sim_.now(), flightrec::Kind::kGatewayShed,
+      "'" + name + "' " + reason);
   if (callback) {
     callback(make_error("gateway: '" + name + "' overloaded (" +
                         std::string(reason) + ")"));
@@ -308,7 +313,12 @@ void Gateway::remove_worker(NodeId worker) {
 void Gateway::quarantine_worker(NodeId worker) {
   const bool fresh = !is_quarantined(worker);
   quarantined_until_[worker] = sim_.now() + config_.quarantine_cooldown;
-  if (fresh) metrics_.counter("gateway_quarantine_total").increment();
+  if (fresh) {
+    metrics_.counter("gateway_quarantine_total").increment();
+    flightrec::FlightRecorder::global().record(
+        sim_.now(), flightrec::Kind::kGatewayQuarantine, worker, 0,
+        "worker " + std::to_string(worker) + " quarantined");
+  }
   metrics_.gauge("gateway_quarantined") =
       static_cast<double>(quarantined_until_.size());
   // Cooldown lapse reinstates automatically even without a HealthChecker

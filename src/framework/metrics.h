@@ -45,6 +45,13 @@ class MetricsRegistry {
 
   bool has(const std::string& name) const;
 
+  /// Read-only view of every histogram series keyed by canonical series
+  /// key — lets the SLO monitor derive burn rates from latency
+  /// histograms without copying them.
+  const std::map<std::string, Histogram>& histogram_series() const {
+    return histograms_;
+  }
+
   /// Folds another registry into this one: counters and gauges add,
   /// samplers append their raw samples, histograms add bucket-wise
   /// (series whose bounds differ are skipped). Lets shard-local

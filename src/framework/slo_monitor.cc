@@ -1,0 +1,145 @@
+#include "framework/slo_monitor.h"
+
+#include <algorithm>
+
+namespace lnic::framework {
+
+namespace {
+
+/// "tenant/fn" → tenant prefix; bare "fn" belongs to the default tenant.
+std::string tenant_of_key(const std::string& key) {
+  const auto slash = key.find('/');
+  return slash == std::string::npos ? "default" : key.substr(0, slash);
+}
+
+Labels burn_labels(const std::string& key) {
+  return {{"fn", key}, {"tenant", tenant_of_key(key)}};
+}
+
+}  // namespace
+
+const char* to_string(AlertSeverity severity) {
+  switch (severity) {
+    case AlertSeverity::kNone: return "none";
+    case AlertSeverity::kWarn: return "warn";
+    case AlertSeverity::kPage: return "page";
+  }
+  return "none";
+}
+
+SloMonitor::SloMonitor(sim::Simulator& sim, MetricsRegistry& registry,
+                       BurnRateConfig config, BurnSourceFn source)
+    : sim_(sim),
+      registry_(registry),
+      config_(config),
+      source_(std::move(source)),
+      timer_(sim, config.evaluation_period, [this] { evaluate(); }) {}
+
+void SloMonitor::track(const std::string& key) { keys_.emplace(key, KeyState{}); }
+
+double SloMonitor::window_burn(const KeyState& state, SimTime now,
+                               SimDuration window) const {
+  if (state.history.empty()) return 0.0;
+  const Snap& head = state.history.back();
+  // Baseline: the latest snapshot at or before the window start, falling
+  // back to the oldest retained one (short histories under-window, which
+  // only makes the estimate more conservative at startup).
+  const SimTime start = now - window;
+  const Snap* base = &state.history.front();
+  for (const Snap& s : state.history) {
+    if (s.at > start) break;
+    base = &s;
+  }
+  const std::uint64_t offered = head.sample.offered - base->sample.offered;
+  if (offered == 0) return 0.0;
+  const std::uint64_t bad = head.sample.bad - base->sample.bad;
+  const double budget = 1.0 - config_.objective;
+  if (budget <= 0.0) return 0.0;
+  return (static_cast<double>(bad) / static_cast<double>(offered)) / budget;
+}
+
+void SloMonitor::evaluate() {
+  ++evaluations_;
+  const SimTime now = sim_.now();
+  for (auto& [key, state] : keys_) {
+    state.history.push_back(Snap{now, source_(key)});
+    // Keep one snapshot older than the slow window as the baseline.
+    while (state.history.size() > 2 &&
+           state.history[1].at <= now - config_.slow_window) {
+      state.history.pop_front();
+    }
+    state.fast_burn = window_burn(state, now, config_.fast_window);
+    state.slow_burn = window_burn(state, now, config_.slow_window);
+
+    // Multi-window AND: both the fast and the slow window must burn hot.
+    const double both = std::min(state.fast_burn, state.slow_burn);
+    AlertSeverity severity = AlertSeverity::kNone;
+    if (both >= config_.page_burn) {
+      severity = AlertSeverity::kPage;
+    } else if (both >= config_.warn_burn) {
+      severity = AlertSeverity::kWarn;
+    }
+
+    const Labels labels = burn_labels(key);
+    registry_.gauge("slo_burn_rate", labels) = state.fast_burn;
+    registry_.gauge("slo_burn_rate_slow", labels) = state.slow_burn;
+    if (severity > state.severity) {
+      registry_
+          .counter("slo_alerts_total", {{"severity", to_string(severity)},
+                                        {"tenant", tenant_of_key(key)}})
+          .increment();
+      if (alert_) alert_(key, severity, state.fast_burn, state.slow_burn);
+    }
+    state.severity = severity;
+  }
+}
+
+double SloMonitor::fast_burn(const std::string& key) const {
+  const auto it = keys_.find(key);
+  return it == keys_.end() ? 0.0 : it->second.fast_burn;
+}
+
+double SloMonitor::slow_burn(const std::string& key) const {
+  const auto it = keys_.find(key);
+  return it == keys_.end() ? 0.0 : it->second.slow_burn;
+}
+
+AlertSeverity SloMonitor::severity(const std::string& key) const {
+  const auto it = keys_.find(key);
+  return it == keys_.end() ? AlertSeverity::kNone : it->second.severity;
+}
+
+BurnSourceFn histogram_burn_source(const MetricsRegistry& registry,
+                                   std::string histogram_name,
+                                   double bound_ns) {
+  return [&registry, name = std::move(histogram_name),
+          bound_ns](const std::string& key) {
+    BurnSample sample;
+    const std::string label = "fn=" + key;
+    for (const auto& [series, hist] : registry.histogram_series()) {
+      if (series.compare(0, name.size() + 1, name + "{") != 0) continue;
+      // Label match: `fn=<key>` delimited by '{'/',' and ','/'}' in the
+      // canonical sorted-label key.
+      const auto pos = series.find(label);
+      if (pos == std::string::npos) continue;
+      const char before = series[pos - 1];
+      const char after = series[pos + label.size()];
+      if ((before != '{' && before != ',') || (after != ',' && after != '}')) {
+        continue;
+      }
+      sample.offered += hist.count();
+      // Observations strictly above the largest bucket bound <= bound_ns
+      // (exact when bound_ns is itself a bucket bound).
+      const auto& bounds = hist.bounds();
+      std::uint64_t within = 0;
+      for (std::size_t i = 0; i < bounds.size(); ++i) {
+        if (bounds[i] > bound_ns) break;
+        within = hist.cumulative(i);
+      }
+      sample.bad += hist.count() - within;
+    }
+    return sample;
+  };
+}
+
+}  // namespace lnic::framework

@@ -1,0 +1,124 @@
+// Multi-window SLO burn-rate alerting (the SRE-workbook scheme adapted
+// to simulated time). A tenant's error budget is 1 − objective; the
+// burn rate over a window is the observed bad fraction divided by that
+// budget, so burn 1.0 spends the budget exactly at the objective's
+// horizon and burn 14.4 exhausts a 30-day budget in 2 days. An alert
+// fires only when BOTH a fast and a slow window burn hot: the fast
+// window gives low detection latency, the slow window keeps a
+// transient blip from paging.
+//
+// This is the autoscaler's cheap early-warning signal: a burn-rate
+// evaluation differences two counter snapshots per key (O(1)), where
+// the p99 signal sorts the latency sample window every tick. The
+// monitor runs on a simulated-time PeriodicTimer, so — like every other
+// observability hook in this repo — it perturbs nothing unless its
+// timer is started, and reading counters perturbs nothing either way.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "framework/metrics.h"
+#include "sim/simulator.h"
+
+namespace lnic::framework {
+
+struct BurnRateConfig {
+  /// Success objective, e.g. 0.999 → 0.1% error budget.
+  double objective = 0.999;
+  /// Fast/slow evaluation windows in simulated time.
+  SimDuration fast_window = seconds(5);
+  SimDuration slow_window = seconds(60);
+  /// Both windows above `page_burn` → page; above `warn_burn` → warn.
+  double page_burn = 14.4;
+  double warn_burn = 3.0;
+  SimDuration evaluation_period = seconds(1);
+};
+
+/// Cumulative demand/violation snapshot for one key.
+struct BurnSample {
+  std::uint64_t offered = 0;
+  std::uint64_t bad = 0;  // failed + late (SLO violations)
+};
+
+/// Source of cumulative samples, keyed by route name ("fn" or
+/// "tenant/fn"). See loadgen::burn_source and histogram_burn_source.
+using BurnSourceFn = std::function<BurnSample(const std::string& key)>;
+
+enum class AlertSeverity { kNone, kWarn, kPage };
+const char* to_string(AlertSeverity severity);
+
+/// Fired on every severity escalation (edge-triggered: entering warn,
+/// or entering page — never on repeat evaluations at the same level).
+using AlertFn = std::function<void(const std::string& key,
+                                   AlertSeverity severity, double fast_burn,
+                                   double slow_burn)>;
+
+class SloMonitor {
+ public:
+  SloMonitor(sim::Simulator& sim, MetricsRegistry& registry,
+             BurnRateConfig config, BurnSourceFn source);
+
+  /// Starts evaluating `key` every tick ("fn" or "tenant/fn" — the
+  /// tenant label on exported series comes from the prefix).
+  void track(const std::string& key);
+  void set_alert_handler(AlertFn handler) { alert_ = std::move(handler); }
+
+  void start() { timer_.start(); }
+  void stop() { timer_.stop(); }
+
+  /// One evaluation pass (also driven by the timer). Snapshots every
+  /// tracked key, recomputes fast/slow burns, updates
+  /// `slo_burn_rate{tenant=,fn=}` / `slo_burn_rate_slow{...}` gauges,
+  /// bumps `slo_alerts_total{tenant=,severity=}` on escalation and
+  /// invokes the alert handler.
+  void evaluate();
+
+  /// Most recent burn rates / severity for a key (0 / kNone if unknown).
+  double fast_burn(const std::string& key) const;
+  double slow_burn(const std::string& key) const;
+  AlertSeverity severity(const std::string& key) const;
+  std::uint64_t evaluations() const { return evaluations_; }
+
+  const BurnRateConfig& config() const { return config_; }
+
+ private:
+  struct Snap {
+    SimTime at = 0;
+    BurnSample sample;
+  };
+  struct KeyState {
+    std::deque<Snap> history;  // pruned to the slow window
+    double fast_burn = 0.0;
+    double slow_burn = 0.0;
+    AlertSeverity severity = AlertSeverity::kNone;
+  };
+
+  /// Burn over the trailing `window`: bad-fraction of the demand seen in
+  /// the window, divided by the error budget.
+  double window_burn(const KeyState& state, SimTime now,
+                     SimDuration window) const;
+
+  sim::Simulator& sim_;
+  MetricsRegistry& registry_;
+  BurnRateConfig config_;
+  BurnSourceFn source_;
+  AlertFn alert_;
+  sim::PeriodicTimer timer_;
+  std::map<std::string, KeyState> keys_;
+  std::uint64_t evaluations_ = 0;
+};
+
+/// Derives cumulative burn samples for a key from a latency histogram's
+/// bucket counts: `bad` = observations above `bound_ns` summed over
+/// every `histogram_name` series whose `fn` label equals the key.
+/// Sees completions only (sheds never reach the histogram), so prefer a
+/// tracker-backed source when one exists.
+BurnSourceFn histogram_burn_source(const MetricsRegistry& registry,
+                                   std::string histogram_name,
+                                   double bound_ns);
+
+}  // namespace lnic::framework

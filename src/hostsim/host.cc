@@ -123,6 +123,10 @@ void HostServer::admit(std::unique_ptr<Job> job) {
   if (tracer_ != nullptr && job->ctx.valid()) {
     job->queue_span = tracer_->start_span(job->ctx.trace, job->ctx.parent,
                                           "host.queue", sim_.now());
+    if (job->lambda.tenant_id != kDefaultTenant) {
+      tracer_->annotate(job->queue_span, "tenant",
+                        std::to_string(job->lambda.tenant_id));
+    }
   }
   admission_.push_back(std::move(job));
   try_admit();
@@ -219,6 +223,10 @@ void HostServer::run_gil(std::unique_ptr<Job> job) {
     // a KV resume opens a fresh host.execute span.
     job->exec_span = tracer_->start_span(job->ctx.trace, job->ctx.parent,
                                          "host.execute", sim_.now());
+    if (job->lambda.tenant_id != kDefaultTenant) {
+      tracer_->annotate(job->exec_span, "tenant",
+                        std::to_string(job->lambda.tenant_id));
+    }
   }
   // The GIL stage computes its own service time at grant (context switch
   // + interpreted execution), so acquire manually.

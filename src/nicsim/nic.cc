@@ -3,6 +3,7 @@
 #include <cassert>
 #include <utility>
 
+#include "common/flightrec.h"
 #include "common/logging.h"
 #include "proto/invocation.h"
 
@@ -84,6 +85,13 @@ const TenantUsage* SmartNic::tenant_usage(TenantId tenant) const {
 void SmartNic::undeploy_tenant(TenantId tenant) {
   const auto queue = wfq_queues_.find(tenant);
   if (queue != wfq_queues_.end()) {
+    if (!queue->second.empty()) {
+      flightrec::FlightRecorder::global().record(
+          sim_.now(), flightrec::Kind::kUndeployDrop, tenant,
+          queue->second.size(),
+          "tenant " + std::to_string(tenant) + " undeployed with " +
+              std::to_string(queue->second.size()) + " queued request(s)");
+    }
     for (auto& flight : queue->second) {
       ++stats_.requests_dropped_undeploy;
       inflight_bytes_ -= flight->staged_bytes;
@@ -169,6 +177,10 @@ Status SmartNic::deploy(compiler::CompileOutput firmware) {
     const TenantQuota& quota = q->second;
     if (quota.instr_store_words > 0 &&
         u.instr_words > quota.instr_store_words) {
+      flightrec::FlightRecorder::global().record(
+          sim_.now(), flightrec::Kind::kQuotaReject, tenant, u.instr_words,
+          "tenant " + std::to_string(tenant) +
+              " over instruction-store quota");
       return make_error("deploy: tenant " + std::to_string(tenant) +
                         " exceeds instruction-store quota");
     }
@@ -176,6 +188,13 @@ Status SmartNic::deploy(compiler::CompileOutput firmware) {
                              quota.emem_bytes};
     for (int region = 1; region < 4; ++region) {
       if (limits[region] > 0 && u.region_bytes[region] > limits[region]) {
+        flightrec::FlightRecorder::global().record(
+            sim_.now(), flightrec::Kind::kQuotaReject, tenant,
+            u.region_bytes[region],
+            "tenant " + std::to_string(tenant) + " over " +
+                std::string(microc::to_string(
+                    static_cast<microc::MemRegion>(region))) +
+                " quota");
         return make_error(
             "deploy: tenant " + std::to_string(tenant) + " exceeds " +
             microc::to_string(static_cast<microc::MemRegion>(region)) +
@@ -361,11 +380,22 @@ void SmartNic::enqueue(std::unique_ptr<Flight> flight) {
   if (queued_ >= config_.max_queue_depth) {
     ++stats_.requests_dropped_queue;
     inflight_bytes_ -= flight->staged_bytes;
+    flightrec::FlightRecorder::global().record(
+        sim_.now(), flightrec::Kind::kQueueDrop,
+        sched_class_of(flight->lambda), queued_,
+        "dispatch queue full, workload " +
+            std::to_string(flight->lambda.workload_id));
     return;
   }
   if (tracer_ != nullptr && flight->ctx.valid()) {
     flight->queue_span = tracer_->start_span(
         flight->ctx.trace, flight->ctx.parent, "nic.queue", sim_.now());
+    const TenantId tenant = flight->lambda.tenant_id != kDefaultTenant
+                                ? flight->lambda.tenant_id
+                                : tenant_of(flight->lambda.workload_id);
+    if (tenant != kDefaultTenant) {
+      tracer_->annotate(flight->queue_span, "tenant", std::to_string(tenant));
+    }
   }
   if (config_.dispatch == DispatchPolicy::kWfq) {
     flight->sched_class = sched_class_of(flight->lambda);
@@ -457,6 +487,12 @@ void SmartNic::start_execution(std::unique_ptr<Flight> flight) {
         flight->ctx.trace, flight->ctx.parent, "nic.execute", sim_.now());
     tracer_->annotate(flight->exec_span, "workload",
                       std::to_string(flight->lambda.workload_id));
+    const TenantId tenant = flight->lambda.tenant_id != kDefaultTenant
+                                ? flight->lambda.tenant_id
+                                : tenant_of(flight->lambda.workload_id);
+    if (tenant != kDefaultTenant) {
+      tracer_->annotate(flight->exec_span, "tenant", std::to_string(tenant));
+    }
   }
   flight->machine = std::make_unique<microc::Machine>(
       *program_, microc::CostModel::npu(), &globals_);

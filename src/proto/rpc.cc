@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/flightrec.h"
+
 namespace lnic::proto {
 
 using net::Packet;
@@ -144,6 +146,10 @@ void RpcClient::on_timeout(RequestId id) {
   }
   if (p.retries >= config_.max_retries) {
     ++failures_;
+    flightrec::FlightRecorder::global().record(
+        sim_.now(), flightrec::Kind::kRtoBackoff, id, p.retries,
+        "request " + std::to_string(id) + " timed out after " +
+            std::to_string(p.retries) + " retries");
     if (p.call_span != trace::kInvalidSpan) {
       tracer_->annotate(p.call_span, "error", "timed out after retries");
       tracer_->end_span(p.call_span, sim_.now());

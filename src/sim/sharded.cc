@@ -1,6 +1,7 @@
 #include "sim/sharded.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -8,6 +9,15 @@
 namespace lnic::sim {
 
 namespace {
+
+using WallClock = std::chrono::steady_clock;
+
+std::uint64_t wall_ns_since(WallClock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(WallClock::now() -
+                                                           start)
+          .count());
+}
 
 /// Runs one shard for one window. A window ending at kSimTimeMax means
 /// "drain": use run() so the shard's clock stops at its last event
@@ -31,7 +41,11 @@ std::uint64_t run_shard(Simulator& sim, SimTime end) {
 ShardedSimulator::ShardedSimulator(unsigned shards) {
   if (shards == 0) shards = 1;
   shards_.resize(shards);
-  for (auto& sh : shards_) sh.sim = std::make_unique<Simulator>();
+  for (auto& sh : shards_) {
+    sh.sim = std::make_unique<Simulator>();
+    sh.posts_by_dst.assign(shards, 0);
+  }
+  stats_ = std::make_unique<ShardStatsCollector>(shards);
   if (shards > 1) {
     workers_.reserve(shards - 1);
     for (unsigned s = 1; s < shards; ++s) {
@@ -76,6 +90,7 @@ void ShardedSimulator::post(unsigned src, unsigned dst, SimTime at,
   if (at < shard.sim->now()) die_lookahead(at, src, shard.sim->now());
   const std::uint64_t gseq =
       (static_cast<std::uint64_t>(src) << 48) | shard.next_post_seq++;
+  ++shard.posts_by_dst[dst];
   shard.outbox.push_back(RemoteEvent{at, gseq, dst, std::move(fn)});
 }
 
@@ -102,7 +117,8 @@ void ShardedSimulator::flush_remote() {
   }
 }
 
-std::uint64_t ShardedSimulator::run_window(SimTime end) {
+std::uint64_t ShardedSimulator::run_window(SimTime t0, SimTime end) {
+  const auto window_start = WallClock::now();
   {
     std::lock_guard<std::mutex> lk(mu_);
     window_end_ = end;
@@ -112,12 +128,29 @@ std::uint64_t ShardedSimulator::run_window(SimTime end) {
   cv_work_.notify_all();
   // Shard 0 runs on the coordinating thread: entity callbacks created on
   // this thread (bench clients, test closures) fire where they were made.
+  const auto busy0_start = WallClock::now();
   std::uint64_t total = run_shard(*shards_[0].sim, end);
-  std::unique_lock<std::mutex> lk(mu_);
-  cv_done_.wait(lk, [&] { return done_count_ == workers_.size(); });
-  for (std::size_t s = 1; s < shards_.size(); ++s) {
-    total += shards_[s].window_dispatched;
+  shards_[0].window_dispatched = total;
+  shards_[0].window_busy_ns = wall_ns_since(busy0_start);
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [&] { return done_count_ == workers_.size(); });
+    for (std::size_t s = 1; s < shards_.size(); ++s) {
+      total += shards_[s].window_dispatched;
+    }
   }
+  // Post-barrier: workers are parked on cv_work_, their per-window
+  // numbers are stable (the barrier mutex gives happens-before), and
+  // this thread is the only one touching the collector.
+  const std::uint64_t wall_ns = wall_ns_since(window_start);
+  std::vector<std::uint64_t> busy(shards_.size());
+  std::vector<std::uint64_t> events(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    busy[s] = shards_[s].window_busy_ns;
+    events[s] = shards_[s].window_dispatched;
+    stats_->set_cross_row(static_cast<unsigned>(s), shards_[s].posts_by_dst);
+  }
+  stats_->record_window(t0, end, lookahead_, wall_ns, busy, events);
   return total;
 }
 
@@ -130,7 +163,9 @@ void ShardedSimulator::worker_loop(unsigned s) {
     seen_epoch = epoch_;
     const SimTime end = window_end_;
     lk.unlock();
+    const auto busy_start = WallClock::now();
     shards_[s].window_dispatched = run_shard(*shards_[s].sim, end);
+    shards_[s].window_busy_ns = wall_ns_since(busy_start);
     lk.lock();
     if (++done_count_ == workers_.size()) cv_done_.notify_one();
   }
@@ -138,10 +173,11 @@ void ShardedSimulator::worker_loop(unsigned s) {
 
 std::uint64_t ShardedSimulator::run_windows(SimTime deadline, bool drain,
                                             const std::function<bool()>* stop) {
+  const auto run_start = WallClock::now();
   std::uint64_t total = 0;
   flush_remote();  // posts made between runs (deployment, test setup)
   while (true) {
-    if (stop != nullptr && (*stop)()) return total;
+    if (stop != nullptr && (*stop)()) break;
     SimTime t0 = kSimTimeMax;
     for (auto& sh : shards_) {
       t0 = std::min(t0, sh.sim->next_event_time());
@@ -155,25 +191,37 @@ std::uint64_t ShardedSimulator::run_windows(SimTime deadline, bool drain,
     if (lookahead_ != kSimTimeMax && deadline - t0 > len - 1) {
       end = t0 + len - 1;
     }
-    total += run_window(end);
+    total += run_window(t0, end);
     ++windows_;
     flush_remote();
   }
-  if (!drain && deadline != kSimTimeMax) {
+  if (!drain && deadline != kSimTimeMax &&
+      (stop == nullptr || !(*stop)())) {
     // Align every clock at the deadline (run_until semantics); nothing
     // is pending at or before it, so this dispatches no events.
     for (auto& sh : shards_) sh.sim->run_until(deadline);
   }
+  stats_->add_run_wall(wall_ns_since(run_start));
   return total;
 }
 
 std::uint64_t ShardedSimulator::run() {
-  if (shards() == 1) return shards_[0].sim->run();
+  if (shards() == 1) {
+    const auto start = WallClock::now();
+    const std::uint64_t n = shards_[0].sim->run();
+    stats_->add_delegated_run(wall_ns_since(start), n);
+    return n;
+  }
   return run_windows(kSimTimeMax, /*drain=*/true, nullptr);
 }
 
 std::uint64_t ShardedSimulator::run_until(SimTime deadline) {
-  if (shards() == 1) return shards_[0].sim->run_until(deadline);
+  if (shards() == 1) {
+    const auto start = WallClock::now();
+    const std::uint64_t n = shards_[0].sim->run_until(deadline);
+    stats_->add_delegated_run(wall_ns_since(start), n);
+    return n;
+  }
   return run_windows(deadline, /*drain=*/false, nullptr);
 }
 
@@ -182,9 +230,11 @@ std::uint64_t ShardedSimulator::run_until(SimTime deadline,
   if (shards() == 1) {
     // Same shape as the classic wait loops: step while the predicate is
     // false and time remains.
+    const auto start = WallClock::now();
     Simulator& sim = *shards_[0].sim;
     std::uint64_t n = 0;
     while (!stop() && sim.now() < deadline && sim.step()) ++n;
+    stats_->add_delegated_run(wall_ns_since(start), n);
     return n;
   }
   return run_windows(deadline, /*drain=*/false, &stop);

@@ -43,6 +43,7 @@
 
 #include "common/result.h"
 #include "common/types.h"
+#include "sim/shard_stats.h"
 #include "sim/simulator.h"
 
 namespace lnic::sim {
@@ -112,6 +113,15 @@ class ShardedSimulator {
   /// Synchronization windows executed by multi-shard runs.
   std::uint64_t windows_executed() const { return windows_; }
 
+  /// Wall-clock stall accounting: per-shard busy / barrier-wait, serial
+  /// sync overhead, cross-shard event matrix, recent-window ring. Pure
+  /// wall-clock bookkeeping — instrumentation never reads or perturbs
+  /// simulated time, so runs stay byte-identical. Must be called from
+  /// the coordinating thread (the thread that calls run()).
+  ShardStats shard_stats() const { return stats_->snapshot(); }
+  /// Collector tuning (recent-window ring capacity); coordinator only.
+  ShardStatsCollector& stats_collector() { return *stats_; }
+
  private:
   /// A cross-shard event buffered until the next barrier. gseq packs
   /// {src shard : 16, per-source sequence : 48} so the barrier merge
@@ -130,15 +140,20 @@ class ShardedSimulator {
     std::vector<RemoteEvent> outbox;
     std::uint64_t next_post_seq = 0;
     std::uint64_t window_dispatched = 0;
+    // Wall nanoseconds this shard spent inside run_shard this window;
+    // same ownership discipline as window_dispatched.
+    std::uint64_t window_busy_ns = 0;
+    // Cumulative cross-shard posts by destination (size == shards).
+    std::vector<std::uint64_t> posts_by_dst;
   };
 
   /// Moves all outbox entries into destination shards in (at, gseq)
   /// order. Runs single-threaded (between windows).
   void flush_remote();
 
-  /// One synchronized window: all shards run_until(end) in parallel.
-  /// Returns events dispatched this window.
-  std::uint64_t run_window(SimTime end);
+  /// One synchronized window [t0, end]: all shards run_until(end) in
+  /// parallel. Returns events dispatched this window.
+  std::uint64_t run_window(SimTime t0, SimTime end);
 
   /// Shared core of run()/run_until(): windows until `deadline` (or
   /// drained when `drain`), checking `stop` at barriers when non-null.
@@ -150,6 +165,7 @@ class ShardedSimulator {
   std::vector<Shard> shards_;
   SimDuration lookahead_ = kSimTimeMax;
   std::uint64_t windows_ = 0;
+  std::unique_ptr<ShardStatsCollector> stats_;
 
   // Window barrier for the persistent worker threads (shards 1..N-1;
   // shard 0 runs on the coordinating thread). The coordinator publishes

@@ -8,13 +8,19 @@
 #include <string>
 #include <vector>
 
+#include "common/flightrec.h"
 #include "common/stats.h"
 #include "common/trace.h"
 #include "core/cluster.h"
+#include "framework/autoscaler.h"
 #include "framework/metrics.h"
 #include "framework/monitor.h"
+#include "framework/slo_monitor.h"
+#include "framework/timeline.h"
 #include "net/network.h"
+#include "net/trace.h"
 #include "nicsim/profiler.h"
+#include "sim/shard_stats.h"
 #include "workloads/lambdas.h"
 
 namespace lnic {
@@ -393,6 +399,364 @@ TEST(Observability, TracedRetransmitYieldsConnectedSpanTree) {
   // The root span covers the whole gateway round trip, so it can only
   // be as long as (or longer than) the rpc-layer latency.
   EXPECT_GE(path.total, response.value().latency);
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+
+TEST(FlightRecorder, RingBoundsEvictionAndCounters) {
+  flightrec::FlightRecorder ring(4);
+  EXPECT_EQ(ring.capacity(), 4u);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ring.record(static_cast<SimTime>(i), flightrec::Kind::kOther, i, 2 * i,
+                "event " + std::to_string(i));
+  }
+  EXPECT_EQ(ring.recorded(), 10u);
+  EXPECT_EQ(ring.evicted(), 6u);
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest retained first, newest last.
+  EXPECT_EQ(events.front().a, 6u);
+  EXPECT_EQ(events.back().a, 9u);
+  EXPECT_EQ(events.back().b, 18u);
+  EXPECT_EQ(events.back().detail, "event 9");
+
+  // Shrinking drops from the old end immediately.
+  ring.set_capacity(2);
+  ASSERT_EQ(ring.snapshot().size(), 2u);
+  EXPECT_EQ(ring.snapshot().front().a, 8u);
+
+  ring.clear();
+  EXPECT_EQ(ring.recorded(), 0u);
+  EXPECT_EQ(ring.evicted(), 0u);
+  EXPECT_NE(ring.dump().find("empty"), std::string::npos);
+}
+
+TEST(FlightRecorder, GatewayShedSiteRecordsAnomalies) {
+  auto& ring = flightrec::FlightRecorder::global();
+  ring.clear();
+
+  core::ClusterConfig config;
+  config.workers = 1;
+  // Tight limiter: 1 in flight, 1 queued — a burst of 8 must shed.
+  config.gateway.max_inflight_per_function = 1;
+  config.gateway.max_queue_depth = 1;
+  core::Cluster cluster(config);
+  ASSERT_TRUE(cluster.deploy(workloads::make_standard_workloads()).ok());
+  cluster.wait_until_ready();
+
+  int done = 0;
+  for (int i = 0; i < 8; ++i) {
+    cluster.invoke("web_server", workloads::encode_web_request(i & 3),
+                   [&done](Result<proto::RpcResponse>) { ++done; });
+  }
+  const SimTime deadline = cluster.sim().now() + seconds(10);
+  while (done < 8 && cluster.sim().now() < deadline) {
+    cluster.sim().run_until(cluster.sim().now() + milliseconds(10));
+  }
+  ASSERT_EQ(done, 8);
+
+  bool saw_shed = false;
+  for (const auto& event : ring.snapshot()) {
+    if (event.kind == flightrec::Kind::kGatewayShed) saw_shed = true;
+  }
+  EXPECT_TRUE(saw_shed);
+  EXPECT_NE(ring.dump().find("gateway-shed"), std::string::npos);
+  ring.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Shard stall accounting
+
+TEST(ShardStats, CollectorAccountingIdentity) {
+  sim::ShardStatsCollector collector(2);
+  // Two windows; shard 1's second busy reading exceeds the window wall
+  // (clock jitter) and must clamp so barrier never underflows.
+  collector.record_window(/*t0=*/0, /*end=*/99, /*lookahead=*/100,
+                          /*wall_ns=*/1000, {600, 300}, {10, 20});
+  collector.record_window(100, 199, 100, 2000, {1500, 2500}, {5, 5});
+  collector.add_run_wall(3500);  // 3000 ns of windows + 500 ns sync/merge
+
+  const sim::ShardStats stats = collector.snapshot();
+  EXPECT_EQ(stats.shards, 2u);
+  EXPECT_EQ(stats.windows, 2u);
+  EXPECT_EQ(stats.total_wall_ns, 3500u);
+  EXPECT_EQ(stats.window_wall_ns, 3000u);
+  EXPECT_EQ(stats.sync_wall_ns(), 500u);
+  EXPECT_EQ(stats.busy_ns[0], 2100u);
+  EXPECT_EQ(stats.busy_ns[1], 2300u);  // 300 + clamp(2500 -> 2000)
+  EXPECT_EQ(stats.events[0], 15u);
+  EXPECT_EQ(stats.events[1], 25u);
+  // The identity the bench gates on: per shard, busy + barrier equals
+  // the window wall exactly, so adding sync reconstructs the total.
+  for (unsigned s = 0; s < stats.shards; ++s) {
+    EXPECT_EQ(stats.busy_ns[s] + stats.barrier_ns[s], stats.window_wall_ns);
+    EXPECT_EQ(stats.busy_ns[s] + stats.barrier_ns[s] + stats.sync_wall_ns(),
+              stats.total_wall_ns);
+  }
+  // Windows span their full lookahead horizon here.
+  EXPECT_DOUBLE_EQ(stats.lookahead_utilization, 1.0);
+  ASSERT_EQ(stats.recent.size(), 2u);
+  EXPECT_EQ(stats.recent[0].t0, 0);
+  EXPECT_EQ(stats.recent[1].wall_ns, 2000u);
+
+  collector.set_cross_row(0, {0, 7});
+  collector.set_cross_row(1, {3, 0});
+  const sim::ShardStats with_cross = collector.snapshot();
+  EXPECT_EQ(with_cross.cross(0, 1), 7u);
+  EXPECT_EQ(with_cross.cross(1, 0), 3u);
+  EXPECT_EQ(with_cross.cross_posts[0], 7u);
+  EXPECT_EQ(with_cross.cross_posts[1], 3u);
+}
+
+TEST(ShardStats, DelegatedSingleShardRunCountsAsBusy) {
+  // shards == 1 bypasses the window machinery; the whole run is shard
+  // 0 busy time and the identity still holds (sync == 0).
+  sim::ShardStatsCollector collector(1);
+  collector.add_delegated_run(/*wall_ns=*/5000, /*events=*/42);
+  const sim::ShardStats stats = collector.snapshot();
+  EXPECT_EQ(stats.windows, 0u);
+  EXPECT_EQ(stats.total_wall_ns, 5000u);
+  EXPECT_EQ(stats.busy_ns[0], 5000u);
+  EXPECT_EQ(stats.barrier_ns[0], 0u);
+  EXPECT_EQ(stats.sync_wall_ns(), 0u);
+  EXPECT_EQ(stats.events[0], 42u);
+}
+
+TEST(ShardStats, ClusterRunExportsShardMetrics) {
+  core::ClusterConfig config;
+  config.workers = 2;
+  config.shards = 2;
+  core::Cluster cluster(config);
+  ASSERT_TRUE(cluster.deploy(workloads::make_standard_workloads()).ok());
+  cluster.wait_until_ready();
+  for (int i = 0; i < 5; ++i) {
+    auto response = cluster.invoke_and_wait(
+        "web_server", workloads::encode_web_request(i & 3));
+    ASSERT_TRUE(response.ok()) << response.error().message;
+  }
+
+  const sim::ShardStats stats = cluster.sharded().shard_stats();
+  EXPECT_EQ(stats.shards, 2u);
+  EXPECT_GT(stats.windows, 0u);
+  EXPECT_GT(stats.total_wall_ns, 0u);
+  for (unsigned s = 0; s < stats.shards; ++s) {
+    EXPECT_EQ(stats.busy_ns[s] + stats.barrier_ns[s], stats.window_wall_ns);
+  }
+  // Matrix row sums equal the engine's cross-post counter.
+  std::uint64_t matrix_total = 0;
+  for (unsigned s = 0; s < stats.shards; ++s) {
+    matrix_total += stats.cross_posts[s];
+  }
+  EXPECT_EQ(matrix_total, cluster.sharded().cross_shard_posts());
+  EXPECT_GT(stats.lookahead_utilization, 0.0);
+  EXPECT_LE(stats.lookahead_utilization, 1.0);
+  EXPECT_NE(stats.to_string().find("stall breakdown"), std::string::npos);
+
+  framework::Monitor monitor(cluster.sim());
+  monitor.watch_sharded(&cluster.sharded());
+  monitor.scrape();
+  const std::string rendered = monitor.metrics().render();
+  EXPECT_NE(rendered.find("sim_shard_windows_total"), std::string::npos);
+  EXPECT_NE(rendered.find("sim_shard_busy_ns_total{shard=\"0\"}"),
+            std::string::npos);
+  EXPECT_NE(rendered.find("sim_shard_barrier_ns_total{shard=\"1\"}"),
+            std::string::npos);
+  EXPECT_NE(rendered.find("sim_shard_cross_events_total"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// SLO burn-rate monitor
+
+TEST(SloMonitor, MultiWindowBurnEdgeTriggeredAlerts) {
+  sim::Simulator sim;
+  MetricsRegistry registry;
+  framework::BurnRateConfig config;
+  config.objective = 0.9;  // 10% error budget
+  config.fast_window = seconds(5);
+  config.slow_window = seconds(20);
+  config.warn_burn = 2.0;
+  config.page_burn = 5.0;
+
+  std::uint64_t offered = 0;
+  std::uint64_t bad = 0;
+  framework::SloMonitor monitor(
+      sim, registry, config,
+      [&](const std::string&) {
+        return framework::BurnSample{offered, bad};
+      });
+  monitor.track("acme/web");
+
+  std::vector<framework::AlertSeverity> alerts;
+  monitor.set_alert_handler([&](const std::string& key,
+                                framework::AlertSeverity severity, double,
+                                double) {
+    EXPECT_EQ(key, "acme/web");
+    alerts.push_back(severity);
+  });
+
+  // One evaluation per simulated second, counters bumped beforehand.
+  const auto tick = [&](std::uint64_t add_offered, std::uint64_t add_bad) {
+    offered += add_offered;
+    bad += add_bad;
+    sim.run_until(sim.now() + seconds(1));
+    monitor.evaluate();
+  };
+
+  // 10 healthy seconds: no burn, no alerts.
+  for (int s = 0; s < 10; ++s) tick(100, 0);
+  EXPECT_EQ(monitor.severity("acme/web"), framework::AlertSeverity::kNone);
+  EXPECT_DOUBLE_EQ(monitor.fast_burn("acme/web"), 0.0);
+
+  // 25 seconds at 50% violations: the fast window saturates at burn
+  // 5.0 quickly, but the slow window still averages in the healthy
+  // prefix — so the monitor escalates to warn first and pages only
+  // once the healthy data ages out of the slow window. Each severity
+  // fires exactly once (edge-triggered).
+  for (int s = 0; s < 25; ++s) tick(100, 50);
+  EXPECT_DOUBLE_EQ(monitor.fast_burn("acme/web"), 5.0);
+  EXPECT_DOUBLE_EQ(monitor.slow_burn("acme/web"), 5.0);
+  EXPECT_EQ(monitor.severity("acme/web"), framework::AlertSeverity::kPage);
+  ASSERT_EQ(alerts.size(), 2u);
+  EXPECT_EQ(alerts[0], framework::AlertSeverity::kWarn);
+  EXPECT_EQ(alerts[1], framework::AlertSeverity::kPage);
+
+  // Recovery: severity decays without firing new alerts.
+  for (int s = 0; s < 25; ++s) tick(100, 0);
+  EXPECT_EQ(monitor.severity("acme/web"), framework::AlertSeverity::kNone);
+  EXPECT_EQ(alerts.size(), 2u);
+
+  // Tenant label derives from the key's prefix; counters recorded the
+  // two escalations.
+  const std::string rendered = registry.render();
+  EXPECT_NE(rendered.find("slo_burn_rate{fn=\"acme/web\",tenant=\"acme\"}"),
+            std::string::npos);
+  EXPECT_NE(
+      rendered.find("slo_alerts_total{severity=\"warn\",tenant=\"acme\"} 1"),
+      std::string::npos);
+  EXPECT_NE(
+      rendered.find("slo_alerts_total{severity=\"page\",tenant=\"acme\"} 1"),
+      std::string::npos);
+  EXPECT_GT(monitor.evaluations(), 0u);
+}
+
+TEST(SloMonitor, HistogramBurnSourceCountsTailObservations) {
+  MetricsRegistry registry;
+  auto& h = registry.histogram("rpc_latency_ns", {{"fn", "web"}},
+                               {1000.0, 10000.0});
+  h.observe(500.0);
+  h.observe(5000.0);
+  h.observe(50000.0);
+  // A different fn label must not leak into "web" (delimiter-checked
+  // label matching, not substring).
+  registry.histogram("rpc_latency_ns", {{"fn", "webx"}}, {1000.0, 10000.0})
+      .observe(99999.0);
+
+  const auto source = framework::histogram_burn_source(
+      registry, "rpc_latency_ns", /*bound_ns=*/10000.0);
+  const auto sample = source("web");
+  EXPECT_EQ(sample.offered, 3u);
+  EXPECT_EQ(sample.bad, 1u);  // only the 50 us observation is late
+  const auto other = source("absent");
+  EXPECT_EQ(other.offered, 0u);
+  EXPECT_EQ(other.bad, 0u);
+}
+
+TEST(Autoscaler, SloAlertScalesUpImmediately) {
+  sim::Simulator sim;
+  net::Network network(sim);
+  framework::Gateway gateway(sim, network);
+  framework::AutoscalerConfig config;
+  config.max_replicas = 2;
+  std::map<std::string, std::uint32_t> provisioned;
+  framework::Autoscaler scaler(
+      sim, gateway, config,
+      [&](const std::string& name, std::uint32_t replicas) {
+        provisioned[name] = replicas;
+      });
+  scaler.track("web");
+  EXPECT_EQ(scaler.replicas("web"), 1u);
+
+  // Warn resets the scale-down streak but never grows the set.
+  scaler.on_slo_alert("web", /*page=*/false);
+  EXPECT_EQ(scaler.replicas("web"), 1u);
+
+  // Page adds a replica immediately, clamped at max_replicas.
+  scaler.on_slo_alert("web", /*page=*/true);
+  EXPECT_EQ(scaler.replicas("web"), 2u);
+  EXPECT_EQ(provisioned["web"], 2u);
+  scaler.on_slo_alert("web", /*page=*/true);
+  EXPECT_EQ(scaler.replicas("web"), 2u);
+
+  // Unknown functions are ignored, not created.
+  scaler.on_slo_alert("ghost", /*page=*/true);
+  EXPECT_EQ(scaler.replicas("ghost"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Unified timeline
+
+TEST(Timeline, MergedExportHasRequestNicAndShardTracks) {
+  core::ClusterConfig config;
+  config.workers = 2;
+  config.shards = 2;
+  core::Cluster cluster(config);
+
+  TraceRecorder recorder;
+  cluster.gateway().set_tracer(&recorder);
+  framework::TimelineInputs inputs;
+  for (std::size_t i = 0; i < cluster.worker_count(); ++i) {
+    cluster.worker(i).set_tracer(&recorder);
+    auto* nic =
+        dynamic_cast<backends::LambdaNicBackend*>(&cluster.worker(i));
+    ASSERT_NE(nic, nullptr);
+    nic->nic().enable_profiler();
+    inputs.nics.emplace_back("worker" + std::to_string(i), &nic->nic());
+  }
+
+  // Tenant-namespaced deploy so nic.* spans carry tenant annotations.
+  ASSERT_TRUE(
+      cluster.deploy(workloads::make_standard_workloads(), "acme").ok());
+  cluster.wait_until_ready();
+  for (int i = 0; i < 6; ++i) {
+    auto response = cluster.invoke_and_wait(
+        "acme/web_server", workloads::encode_web_request(i & 3));
+    ASSERT_TRUE(response.ok()) << response.error().message;
+  }
+
+  inputs.tracer = &recorder;
+  inputs.sharded = &cluster.sharded();
+  const std::string json = framework::export_timeline(inputs);
+
+  // All three sources in one JSON document.
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ns\""), std::string::npos);
+  EXPECT_NE(json.find("gateway.proxy"), std::string::npos);  // request spans
+  EXPECT_NE(json.find("nic:worker0"), std::string::npos);    // NPU process
+  EXPECT_NE(json.find("\"npu 0\""), std::string::npos);      // NPU track
+  EXPECT_NE(json.find("sim shards"), std::string::npos);     // shard process
+  EXPECT_NE(json.find("shard.window"), std::string::npos);   // shard spans
+  EXPECT_NE(json.find("\"barrier_ns\""), std::string::npos);
+  // Tenant ids ride both the trace spans and the profiler tracks.
+  EXPECT_NE(json.find("\"tenant\""), std::string::npos);
+}
+
+TEST(Monitor, ExportsPacketTraceEvictions) {
+  sim::Simulator sim;
+  net::PacketTracer tracer;
+  tracer.set_capacity(2);
+  net::Packet packet;
+  packet.src = 1;
+  packet.dst = 2;
+  for (int i = 0; i < 5; ++i) {
+    tracer.record(packet, static_cast<SimTime>(i), /*dropped=*/false);
+  }
+  EXPECT_EQ(tracer.evicted(), 3u);
+
+  framework::Monitor monitor(sim);
+  monitor.watch_packet_tracer(&tracer);
+  monitor.scrape();
+  EXPECT_NE(monitor.metrics().render().find("packet_trace_evicted_total 3"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -4,11 +4,13 @@
 // shard-count invariance of simulated results.
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/cluster.h"
+#include "framework/metrics.h"
 #include "net/network.h"
 #include "sim/sharded.h"
 #include "workloads/lambdas.h"
@@ -165,6 +167,51 @@ TEST(ShardedCluster, FixedShardCountIsDeterministic) {
   const auto b = run_cluster_web(4, 15, &posts_b);
   EXPECT_EQ(a, b);
   EXPECT_EQ(posts_a, posts_b);
+}
+
+TEST(ShardedMetrics, ConcurrentLabeledHistogramMergeFromShards) {
+  // The scrape-time pattern the sharded monitor relies on: each shard
+  // thread populates its own registry (the same labeled histogram
+  // series plus a per-shard counter) in parallel, the coordinator joins
+  // and folds them with merge_from. Runs under the TSan CI job, so any
+  // unsynchronized sharing inside the registries would be flagged.
+  constexpr int kShards = 4;
+  constexpr int kObservations = 2000;
+  std::vector<framework::MetricsRegistry> locals(kShards);
+  std::vector<std::thread> threads;
+  threads.reserve(kShards);
+  for (int t = 0; t < kShards; ++t) {
+    threads.emplace_back([&locals, t] {
+      framework::MetricsRegistry& reg = locals[t];
+      for (int i = 0; i < kObservations; ++i) {
+        reg.histogram("rpc_latency_ns", {{"fn", "web"}})
+            .observe(1000.0 * ((t * kObservations + i) % 64));
+        reg.counter("shard_events_total",
+                    {{"shard", std::to_string(t)}})
+            .increment();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  framework::MetricsRegistry merged;
+  for (const framework::MetricsRegistry& reg : locals) {
+    merged.merge_from(reg);
+  }
+
+  // The shared labeled series folded bucket-wise across all shards.
+  const auto& h = merged.histogram("rpc_latency_ns", {{"fn", "web"}});
+  EXPECT_EQ(h.count(),
+            static_cast<std::uint64_t>(kShards) * kObservations);
+  // Per-shard series stayed distinct.
+  for (int t = 0; t < kShards; ++t) {
+    EXPECT_EQ(merged
+                  .counter("shard_events_total",
+                           {{"shard", std::to_string(t)}})
+                  .value(),
+              static_cast<std::uint64_t>(kObservations))
+        << "shard " << t;
+  }
 }
 
 }  // namespace

@@ -19,7 +19,10 @@ name/value/unit) and bench-specific invariants:
   closed-loop request count; cross-shard posts flowed when sharded; the
   4-shard aggregate events/sec is at least 2x the 1-shard rate — but
   that speedup floor is enforced only when the recorded hw_threads >= 4,
-  since the parallelism physically cannot show on a 1-2 core box.
+  since the parallelism physically cannot show on a 1-2 core box. Each
+  sweep point also carries its stall breakdown (busy/barrier/sync wall
+  components + lookahead utilization), and busy + barrier + sync must
+  reconstruct the total wall time within 1%.
 - supp_multitenant: per-tenant SLO rows present for every scenario; the
   noisy-neighbor victim's shared-card p99 within 1.25x its isolated
   baseline while the aggressor oversubscribes its DRR weight share by
@@ -148,6 +151,25 @@ def check_parallel(doc):
             )
         if s > 1 and got[f"{cell}_cross_posts"] <= 0:
             fail(f"{cell}_cross_posts is zero — no cross-shard traffic")
+        # Stall breakdown: the busy/barrier/sync components must be
+        # present and reconstruct the measured wall time within 1%.
+        for suffix in ("_busy_ns", "_barrier_ns", "_sync_ns", "_wall_ns",
+                       "_stall_sum_err_pct", "_lookahead_util"):
+            if cell + suffix not in got:
+                fail(f"perf_parallel missing metric '{cell + suffix}'")
+        if got[f"{cell}_wall_ns"] <= 0:
+            fail(f"{cell}_wall_ns is zero — stall accounting did not run")
+        if got[f"{cell}_busy_ns"] <= 0:
+            fail(f"{cell}_busy_ns is zero — no shard busy time recorded")
+        if got[f"{cell}_stall_sum_err_pct"] > 1.0:
+            fail(
+                f"{cell}_stall_sum_err_pct = "
+                f"{got[cell + '_stall_sum_err_pct']:.3f}%; busy + barrier "
+                "+ sync must reconstruct wall time within 1%"
+            )
+        util = got[f"{cell}_lookahead_util"]
+        if not 0.0 < util <= 1.0:
+            fail(f"{cell}_lookahead_util = {util:.3f} outside (0, 1]")
     if completed is None or completed <= 0:
         fail("perf_parallel completed zero requests")
     if "speedup_4x" not in got:

@@ -1,12 +1,21 @@
 #!/usr/bin/env python3
 """Validate an exported Chrome trace_event JSON file.
 
-Usage: check_trace.py <trace.json>
+Usage: check_trace.py <trace.json> [--timeline]
 
 Checks that the file parses, contains trace events, and holds at least
 one *complete span tree*: a trace (pid) whose spans connect into one
 tree rooted at a gateway request span, reaching both the transport
 (rpc.*) and an execution span (nic.* / host.*). Exit code 0 on success.
+
+With --timeline the file is a merged Perfetto export (lnicctl
+timeline) and two more track families are required:
+  - shard tracks: "shard.window" spans on the synthetic shard pid,
+    each carrying busy_ns/barrier_ns/wall_ns args;
+  - NPU tracks: at least one "nic:" process with thread metadata and
+    busy spans;
+and every nic.execute span must carry a tenant arg when any does
+(tenant-annotated runs annotate uniformly).
 """
 import json
 import sys
@@ -18,11 +27,65 @@ def fail(message):
     sys.exit(1)
 
 
+def check_timeline(events):
+    """Validates the shard and NPU track families of a merged export."""
+    shard_threads = set()
+    shard_windows = 0
+    nic_processes = set()
+    nic_spans = 0
+    for event in events:
+        name = event.get("name", "")
+        args = event.get("args", {})
+        if event.get("ph") == "M":
+            if name == "thread_name" and str(args.get("name", "")).startswith(
+                    "shard "):
+                shard_threads.add((event.get("pid"), event.get("tid")))
+            if name == "process_name" and str(args.get("name", "")).startswith(
+                    "nic:"):
+                nic_processes.add(event.get("pid"))
+            continue
+        if event.get("ph") != "X":
+            continue
+        if name == "shard.window":
+            for key in ("busy_ns", "barrier_ns", "wall_ns"):
+                if key not in args:
+                    fail(f"shard.window span missing args.{key}")
+            if event.get("ts") is None or event.get("dur") is None:
+                fail("shard.window span missing ts/dur")
+            shard_windows += 1
+    for event in events:
+        if event.get("ph") == "X" and event.get("pid") in nic_processes:
+            nic_spans += 1
+    if not shard_threads:
+        fail("timeline has no shard thread tracks")
+    if shard_windows < 1:
+        fail("timeline has no shard.window spans")
+    if not nic_processes:
+        fail("timeline has no nic:<name> processes")
+    if nic_spans < 1:
+        fail("timeline nic processes carry no busy spans")
+
+    # Tenant annotations: if any nic.execute span has args.tenant, all
+    # must (a tenant-namespaced run annotates every execution).
+    executes = [e for e in events
+                if e.get("ph") == "X" and e.get("name") == "nic.execute"]
+    tenanted = [e for e in executes if "tenant" in e.get("args", {})]
+    if tenanted and len(tenanted) != len(executes):
+        fail(f"only {len(tenanted)}/{len(executes)} nic.execute spans "
+             f"carry a tenant arg")
+    print(f"check_trace: timeline OK ({len(shard_threads)} shard track(s), "
+          f"{shard_windows} windows, {len(nic_processes)} nic process(es), "
+          f"{nic_spans} npu spans, {len(tenanted)} tenant-annotated "
+          f"executions)")
+
+
 def main():
-    if len(sys.argv) != 2:
+    args = [a for a in sys.argv[1:] if a != "--timeline"]
+    timeline = "--timeline" in sys.argv[1:]
+    if len(args) != 1:
         print(__doc__)
         sys.exit(2)
-    path = sys.argv[1]
+    path = args[0]
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
@@ -32,6 +95,9 @@ def main():
     events = doc.get("traceEvents")
     if not isinstance(events, list) or not events:
         fail("no traceEvents array")
+
+    if timeline:
+        check_timeline(events)
 
     # Group complete ("X") events by trace (pid), keyed by span id.
     traces = defaultdict(dict)

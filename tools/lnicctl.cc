@@ -20,8 +20,24 @@
 //       Chrome trace_event JSON plus a critical-path breakdown.
 //
 //   lnicctl metrics [--requests N] [--backend nic|baremetal|container]
+//                   [--filter <prefix>]
 //       Run a short workload and print the Prometheus exposition of the
-//       gateway and monitoring-engine registries (incl. NPU-grid gauges).
+//       gateway and monitoring-engine registries (incl. NPU-grid and
+//       sim_shard_* gauges). --filter keeps only series whose name
+//       starts with the prefix.
+//
+//   lnicctl flightrec [--requests N]
+//       Run a short workload through an overloaded, lossy cluster and
+//       dump the flight recorder's anomaly ring (sheds, quarantines,
+//       RTO backoffs) — the "what went wrong just before" view.
+//
+//   lnicctl timeline [--requests N] [--shards N] [--tenant <name>]
+//                    [--out timeline.json]
+//       Run traced requests and write the unified Perfetto timeline:
+//       request spans, per-NPU busy tracks, and shard window tracks in
+//       one JSON, all on the simulated-time axis. With --tenant the
+//       bundle deploys tenant-namespaced, so nic.*/host.* spans carry
+//       tenant annotations.
 //
 //   lnicctl loadgen poisson [--rate R] [--duration-ms D] [--functions N]
 //                   [--zipf S] [--deadline-us U] [--backend ...]
@@ -51,15 +67,18 @@
 #include <string>
 #include <vector>
 
+#include "common/flightrec.h"
 #include "common/trace.h"
 #include "compiler/pipeline.h"
 #include "core/cluster.h"
 #include "framework/monitor.h"
+#include "framework/timeline.h"
 #include "loadgen/generator.h"
 #include "microc/disasm.h"
 #include "microc/frontend.h"
 #include "microc/interp.h"
 #include "microc/serialize.h"
+#include "net/trace.h"
 #include "p4/text.h"
 #include "workloads/lambdas.h"
 
@@ -79,7 +98,11 @@ int usage() {
                "[--backend nic|baremetal|container] [--shards N] "
                "[--out trace.json]\n"
                "  lnicctl metrics [--requests N] "
-               "[--backend nic|baremetal|container] [--shards N]\n"
+               "[--backend nic|baremetal|container] [--shards N] "
+               "[--filter <prefix>]\n"
+               "  lnicctl flightrec [--requests N]\n"
+               "  lnicctl timeline [--requests N] [--shards N] "
+               "[--tenant <name>] [--out timeline.json]\n"
                "  lnicctl loadgen poisson [--rate R] [--duration-ms D] "
                "[--functions N] [--zipf S]\n"
                "                  [--deadline-us U] [--backend ...] "
@@ -407,6 +430,9 @@ int cmd_metrics(int argc, char** argv) {
   if (!parse_backend(flags, &config.backend)) return usage();
   core::Cluster cluster(config);
 
+  net::PacketTracer packet_tracer;
+  cluster.network().set_tracer(&packet_tracer);
+
   framework::Monitor monitor(cluster.sim(), milliseconds(100));
   for (std::size_t i = 0; i < cluster.worker_count(); ++i) {
     auto* backend = &cluster.worker(i);
@@ -416,6 +442,8 @@ int cmd_metrics(int argc, char** argv) {
     monitor.watch_backend("worker" + std::to_string(i), backend);
   }
   monitor.watch_gateway(&cluster.gateway());
+  monitor.watch_sharded(&cluster.sharded());
+  monitor.watch_packet_tracer(&packet_tracer);
 
   auto deployed = cluster.deploy(workloads::make_standard_workloads());
   if (!deployed.ok()) {
@@ -440,9 +468,152 @@ int cmd_metrics(int argc, char** argv) {
   }
   monitor.scrape();
 
-  std::printf("# gateway registry\n%s",
-              cluster.gateway().metrics().render().c_str());
-  std::printf("# monitor registry\n%s", monitor.metrics().render().c_str());
+  // --filter keeps only series whose *name* starts with the prefix
+  // (labels and values ride along), e.g. --filter sim_shard_ or
+  // --filter nic_tenant_.
+  const std::string filter =
+      flags.count("--filter") ? flags["--filter"] : "";
+  const auto print_registry = [&](const char* title,
+                                  const std::string& rendered) {
+    std::printf("# %s\n", title);
+    if (filter.empty()) {
+      std::fputs(rendered.c_str(), stdout);
+      return;
+    }
+    std::istringstream in(rendered);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.rfind(filter, 0) == 0) std::printf("%s\n", line.c_str());
+    }
+  };
+  print_registry("gateway registry", cluster.gateway().metrics().render());
+  print_registry("monitor registry", monitor.metrics().render());
+  return 0;
+}
+
+int cmd_flightrec(int argc, char** argv) {
+  auto flags = parse_flags(argc, argv, 2);
+  const int requests =
+      flags.count("--requests") ? std::stoi(flags["--requests"]) : 24;
+
+  // Clean slate so the dump shows only this run's anomalies.
+  flightrec::FlightRecorder::global().clear();
+
+  core::ClusterConfig config;
+  config.workers = 2;
+  // A deliberately tight limiter so the flood below sheds: 2 requests in
+  // flight per function, 4 queued, 5 ms queue deadline, rest rejected.
+  config.gateway.max_inflight_per_function = 2;
+  config.gateway.max_queue_depth = 4;
+  config.gateway.queue_deadline = milliseconds(5);
+  core::Cluster cluster(config);
+
+  auto deployed = cluster.deploy(workloads::make_standard_workloads());
+  if (!deployed.ok()) {
+    std::fprintf(stderr, "error: %s\n", deployed.error().message.c_str());
+    return 2;
+  }
+  cluster.wait_until_ready();
+
+  int done = 0;
+  int failed = 0;
+  const auto count = [&](Result<proto::RpcResponse> response) {
+    ++done;
+    if (!response.ok()) ++failed;
+  };
+
+  // Phase 1: flood the limiter — queue-full and deadline sheds — then
+  // let the admitted requests resolve in a healthy fabric.
+  for (int i = 0; i < requests; ++i) {
+    cluster.invoke("web_server", workloads::encode_web_request(i & 3), count);
+  }
+  cluster.sim().run_until(cluster.sim().now() + milliseconds(200));
+  // Phase 2: one request into a black-holed fabric — retransmission
+  // backoff until the RPC gives up, then a worker quarantine.
+  cluster.network().set_faults(net::FaultConfig{.drop_probability = 1.0});
+  cluster.invoke("web_server", workloads::encode_web_request(0), count);
+
+  const SimTime deadline = cluster.sim().now() + seconds(600);
+  while (done < requests + 1 && cluster.sim().now() < deadline) {
+    cluster.sim().run_until(cluster.sim().now() + milliseconds(50));
+  }
+
+  std::printf("%d request(s) resolved: %d ok, %d failed (by design)\n\n",
+              done, done - failed, failed);
+  std::fputs(flightrec::FlightRecorder::global().dump().c_str(), stdout);
+  return 0;
+}
+
+int cmd_timeline(int argc, char** argv) {
+  auto flags = parse_flags(argc, argv, 2);
+  const int requests =
+      flags.count("--requests") ? std::stoi(flags["--requests"]) : 12;
+  const std::string out_path =
+      flags.count("--out") ? flags["--out"] : "timeline.json";
+
+  core::ClusterConfig config;
+  config.workers = 2;
+  // Default to 2 shards so the timeline includes shard window tracks.
+  config.shards = flags.count("--shards") ? flag_shards(flags) : 2;
+  if (!parse_backend(flags, &config.backend)) return usage();
+  core::Cluster cluster(config);
+
+  trace::TraceRecorder recorder;
+  cluster.gateway().set_tracer(&recorder);
+  std::vector<std::pair<std::string, const nicsim::SmartNic*>> nics;
+  for (std::size_t i = 0; i < cluster.worker_count(); ++i) {
+    cluster.worker(i).set_tracer(&recorder);
+    auto* nic = dynamic_cast<backends::LambdaNicBackend*>(&cluster.worker(i));
+    if (nic != nullptr) {
+      nic->nic().enable_profiler();
+      nics.emplace_back("worker" + std::to_string(i), &nic->nic());
+    }
+  }
+
+  const std::string tenant =
+      flags.count("--tenant") ? flags["--tenant"] : "";
+  auto deployed =
+      tenant.empty()
+          ? cluster.deploy(workloads::make_standard_workloads())
+          : cluster.deploy(workloads::make_standard_workloads(), tenant);
+  if (!deployed.ok()) {
+    std::fprintf(stderr, "error: %s\n", deployed.error().message.c_str());
+    return 2;
+  }
+  cluster.wait_until_ready();
+
+  const char* mix[] = {"web_server", "kv_client_set", "kv_client_get"};
+  const std::string prefix = tenant.empty() ? "" : tenant + "/";
+  for (int i = 0; i < requests; ++i) {
+    const std::string fn = prefix + mix[i % 3];
+    auto payload = fn == "web_server"
+                       ? workloads::encode_web_request(i & 3)
+                       : workloads::encode_kv_request(i, i * 3);
+    auto response = cluster.invoke_and_wait(fn, payload);
+    if (!response.ok()) {
+      std::fprintf(stderr, "request %d (%s) failed: %s\n", i, fn.c_str(),
+                   response.error().message.c_str());
+      return 2;
+    }
+  }
+
+  framework::TimelineInputs inputs;
+  inputs.tracer = &recorder;
+  inputs.nics = std::move(nics);
+  inputs.sharded = &cluster.sharded();
+  const std::string json = framework::export_timeline(inputs);
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", out_path.c_str());
+    return 2;
+  }
+  out << json;
+  std::printf("wrote %s (%zu bytes: %zu request spans, %zu nic(s), "
+              "%llu shard windows)\n",
+              out_path.c_str(), json.size(), recorder.size(),
+              inputs.nics.size(),
+              static_cast<unsigned long long>(
+                  cluster.sharded().windows_executed()));
   return 0;
 }
 
@@ -650,6 +821,8 @@ int main(int argc, char** argv) {
   if (command == "run") return cmd_run(argc, argv);
   if (command == "trace") return cmd_trace(argc, argv);
   if (command == "metrics") return cmd_metrics(argc, argv);
+  if (command == "flightrec") return cmd_flightrec(argc, argv);
+  if (command == "timeline") return cmd_timeline(argc, argv);
   if (command == "loadgen") return cmd_loadgen(argc, argv);
   return usage();
 }
