@@ -13,6 +13,7 @@ const char* to_string(Kind kind) {
     case Kind::kQuotaReject: return "quota-reject";
     case Kind::kRtoBackoff: return "rto-backoff";
     case Kind::kBarrierOutlier: return "barrier-outlier";
+    case Kind::kTxnRetryExhausted: return "txn-retry-exhausted";
     case Kind::kOther: return "other";
   }
   return "other";

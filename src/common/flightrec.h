@@ -30,6 +30,7 @@ enum class Kind : std::uint8_t {
   kQuotaReject,        // deploy rejected by per-tenant quota admission
   kRtoBackoff,         // RPC attempt exhausted retransmits / backed off
   kBarrierOutlier,     // shard window wall time far above running mean
+  kTxnRetryExhausted,  // transaction aborted past its retry budget
   kOther,
 };
 

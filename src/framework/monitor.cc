@@ -96,6 +96,56 @@ void Monitor::scrape() {
         static_cast<double>(packet_tracer_->evicted());
   }
 
+  // Transactional-store counters: op mix, commit/abort outcomes keyed
+  // by the store's locking protocol, and NIC node-cache effectiveness.
+  for (const auto& [name, store] : kv_stores_) {
+    const auto& s = store->stats();
+    const std::string proto = kvstore::to_string(store->protocol());
+    metrics_.gauge("kv_ops_total", {{"node", name}, {"op", "get"}}) =
+        static_cast<double>(s.gets);
+    metrics_.gauge("kv_ops_total", {{"node", name}, {"op", "set"}}) =
+        static_cast<double>(s.sets);
+    metrics_.gauge("kv_ops_total", {{"node", name}, {"op", "txn"}}) =
+        static_cast<double>(s.txns);
+    metrics_.gauge("kv_txn_commits_total",
+                   {{"node", name}, {"proto", proto}}) =
+        static_cast<double>(s.commits);
+    metrics_.gauge("kv_txn_aborts_total", {{"node", name}, {"proto", proto}}) =
+        static_cast<double>(s.aborts);
+    metrics_.gauge("kv_txn_retries_exhausted_total",
+                   {{"node", name}, {"proto", proto}}) =
+        static_cast<double>(s.retries_exhausted);
+    const auto& c = store->cache_stats();
+    metrics_.gauge("kv_cache_hit_ratio", {{"node", name}}) = c.hit_ratio();
+    metrics_.gauge("kv_cache_hits", {{"node", name}}) =
+        static_cast<double>(c.hits);
+    metrics_.gauge("kv_cache_misses", {{"node", name}}) =
+        static_cast<double>(c.misses);
+    metrics_.gauge("kv_cache_evictions", {{"node", name}}) =
+        static_cast<double>(c.evictions);
+    metrics_.gauge("kv_cache_invalidations", {{"node", name}}) =
+        static_cast<double>(c.invalidations);
+  }
+  // CacheServer (memcached-style) counters, same metric names so
+  // dashboards treat both store kinds uniformly.
+  for (const auto& [name, server] : cache_servers_) {
+    const auto& s = server->stats();
+    metrics_.gauge("kv_ops_total", {{"node", name}, {"op", "get"}}) =
+        static_cast<double>(s.gets);
+    metrics_.gauge("kv_ops_total", {{"node", name}, {"op", "set"}}) =
+        static_cast<double>(s.sets);
+    metrics_.gauge("kv_cache_hits", {{"node", name}}) =
+        static_cast<double>(s.hits);
+    metrics_.gauge("kv_cache_misses", {{"node", name}}) =
+        static_cast<double>(s.misses);
+    metrics_.gauge("kv_cache_evictions", {{"node", name}}) =
+        static_cast<double>(s.evictions);
+    metrics_.gauge("kv_cache_hit_ratio", {{"node", name}}) =
+        s.gets == 0 ? 0.0
+                    : static_cast<double>(s.hits) /
+                          static_cast<double>(s.gets);
+  }
+
   // Sharded-engine stall accounting: where the parallel run's wall time
   // went (busy vs barrier vs serial sync) and who talks to whom.
   if (sharded_ != nullptr) {

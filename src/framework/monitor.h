@@ -10,6 +10,8 @@
 #include "backends/backend.h"
 #include "framework/gateway.h"
 #include "framework/metrics.h"
+#include "kvstore/cache_server.h"
+#include "kvstore/txn.h"
 #include "net/trace.h"
 #include "sim/sharded.h"
 #include "sim/simulator.h"
@@ -38,6 +40,18 @@ class Monitor {
   void watch_packet_tracer(const net::PacketTracer* tracer) {
     packet_tracer_ = tracer;
   }
+  /// Exports a transactional store's op/txn/cache counters as labeled
+  /// kv_* gauges (kv_ops_total{op=}, kv_txn_aborts_total{proto=},
+  /// kv_cache_hit_ratio, ...).
+  void watch_kv(const std::string& name, const kvstore::TxnStore* store) {
+    kv_stores_.emplace_back(name, store);
+  }
+  /// Exports a memcached-style CacheServer's counters under the same
+  /// kv_* metric names (distinguished by the node label).
+  void watch_cache(const std::string& name,
+                   const kvstore::CacheServer* server) {
+    cache_servers_.emplace_back(name, server);
+  }
 
   void start() { timer_.start(); }
   void stop() { timer_.stop(); }
@@ -55,6 +69,9 @@ class Monitor {
   Gateway* gateway_ = nullptr;
   const sim::ShardedSimulator* sharded_ = nullptr;
   const net::PacketTracer* packet_tracer_ = nullptr;
+  std::vector<std::pair<std::string, const kvstore::TxnStore*>> kv_stores_;
+  std::vector<std::pair<std::string, const kvstore::CacheServer*>>
+      cache_servers_;
   MetricsRegistry metrics_;
   std::uint64_t scrapes_ = 0;
 };

@@ -13,6 +13,10 @@ CacheServer::CacheServer(sim::Simulator& sim, net::Network& network,
 }
 
 void CacheServer::put(std::uint64_t key, std::uint64_t value) {
+  // Stats are counted here (not in handle_packet) so the direct
+  // accessors and the networked path stay consistent: a direct put is a
+  // SET minus the fabric hop.
+  ++stats_.sets;
   auto it = map_.find(key);
   if (it != map_.end()) {
     it->second.value = value;
@@ -30,8 +34,13 @@ void CacheServer::put(std::uint64_t key, std::uint64_t value) {
 }
 
 bool CacheServer::get(std::uint64_t key, std::uint64_t& value_out) {
+  ++stats_.gets;
   auto it = map_.find(key);
-  if (it == map_.end()) return false;
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
   value_out = it->second.value;
   touch(key);
   return true;
@@ -58,16 +67,9 @@ void CacheServer::handle_packet(const Packet& packet) {
   std::uint64_t reply = 0;
   if (is_set) {
     put(key, value);
-    ++stats_.sets;
     reply = value;
-  } else {
-    ++stats_.gets;
-    if (get(key, reply)) {
-      ++stats_.hits;
-    } else {
-      ++stats_.misses;
-      reply = 0;
-    }
+  } else if (!get(key, reply)) {
+    reply = 0;
   }
 
   const SimDuration service =

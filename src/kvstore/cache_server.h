@@ -41,7 +41,10 @@ class CacheServer {
   const CacheStats& stats() const { return stats_; }
   std::size_t size() const { return map_.size(); }
 
-  /// Direct (non-networked) accessors for tests and pre-seeding.
+  /// Direct (non-networked) accessors for tests and pre-seeding. They
+  /// maintain LRU order and CacheStats exactly like the networked path
+  /// (which is implemented on top of them) — only the fabric hop and
+  /// service delay differ.
   void put(std::uint64_t key, std::uint64_t value);
   bool get(std::uint64_t key, std::uint64_t& value_out);
 

@@ -70,6 +70,21 @@ TEST(CacheServer, LruEvictsOldest) {
   EXPECT_EQ(cache.stats().evictions, 1u);
 }
 
+TEST(CacheServer, DirectAccessorsCountStatsLikeNetworkedPath) {
+  sim::Simulator sim;
+  net::Network network(sim);
+  CacheServer cache(sim, network);
+  cache.put(1, 100);
+  std::uint64_t v = 0;
+  EXPECT_TRUE(cache.get(1, v));
+  EXPECT_FALSE(cache.get(2, v));
+  // The direct path maintains CacheStats exactly like the fabric path.
+  EXPECT_EQ(cache.stats().sets, 1u);
+  EXPECT_EQ(cache.stats().gets, 2u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
 TEST(CacheServer, NetworkedSetThenGet) {
   sim::Simulator sim;
   net::Network network(sim);

@@ -759,5 +759,47 @@ TEST(Monitor, ExportsPacketTraceEvictions) {
             std::string::npos);
 }
 
+TEST(Monitor, ExportsKvStoreAndCacheServerMetrics) {
+  sim::Simulator sim;
+  net::Network network(sim);
+  kvstore::TxnStoreConfig config;
+  config.protocol = kvstore::LockProtocol::kWaitDie;
+  kvstore::TxnStore store(sim, network, config);
+  store.load(1, 10);
+  kvstore::TxnRequest req;
+  req.ops.push_back({kvstore::OpKind::kRead, 1, 0, 0});
+  req.ops.push_back({kvstore::OpKind::kRmw, 1, 1, 0});
+  store.execute(std::move(req), [](const kvstore::TxnResult&) {});
+  sim.run();
+
+  kvstore::CacheServer cache(sim, network);
+  cache.put(5, 50);
+  std::uint64_t v = 0;
+  cache.get(5, v);
+
+  framework::Monitor monitor(sim);
+  monitor.watch_kv("txn0", &store);
+  monitor.watch_cache("cache0", &cache);
+  monitor.scrape();
+  const std::string rendered = monitor.metrics().render();
+  EXPECT_NE(rendered.find("kv_ops_total{node=\"txn0\",op=\"txn\"} 1"),
+            std::string::npos)
+      << rendered;
+  EXPECT_NE(
+      rendered.find("kv_txn_commits_total{node=\"txn0\",proto=\"wait_die\"} 1"),
+      std::string::npos)
+      << rendered;
+  EXPECT_NE(rendered.find("kv_txn_aborts_total{node=\"txn0\",proto=\"wait_die\"}"),
+            std::string::npos);
+  EXPECT_NE(rendered.find("kv_cache_hit_ratio{node=\"txn0\"}"),
+            std::string::npos);
+  EXPECT_NE(rendered.find("kv_ops_total{node=\"cache0\",op=\"set\"} 1"),
+            std::string::npos)
+      << rendered;
+  EXPECT_NE(rendered.find("kv_cache_hit_ratio{node=\"cache0\"} 1"),
+            std::string::npos)
+      << rendered;
+}
+
 }  // namespace
 }  // namespace lnic

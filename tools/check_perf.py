@@ -3,7 +3,8 @@
 
 Usage: check_perf.py <BENCH_perf_engine.json | BENCH_perf_datapath.json
                       | BENCH_perf_parallel.json
-                      | BENCH_supp_multitenant.json>
+                      | BENCH_supp_multitenant.json
+                      | BENCH_supp_kv_txn.json>
 
 Checks the JSON schema (bench name, seed, shard count, metric list with
 name/value/unit) and bench-specific invariants:
@@ -28,6 +29,11 @@ name/value/unit) and bench-specific invariants:
   baseline while the aggressor oversubscribes its DRR weight share by
   >= 10x; the scale-to-zero tenant took cold failures and released all
   replicas again. Simulated-time metrics: exact, no machine noise.
+- supp_kv_txn: every YCSB/cache/TPC-C cell present with nonzero
+  commits; the read-only mix never aborts; the write-heavy mix aborts
+  strictly more at Zipf 0.99 than uniform under both lock protocols;
+  the NIC node-cache hit ratio is 0 at capacity 0 (host baseline) and
+  monotonically non-decreasing in capacity.
 
 Exit code 0 on success.
 """
@@ -243,6 +249,80 @@ def check_multitenant(doc):
     )
 
 
+def check_kv_txn(doc):
+    got = metrics_by_name(doc)
+    protos = ("no_wait", "wait_die")
+    suffixes = ("/commits", "/aborts", "/abort_rate", "/p50", "/p99",
+                "/hit_ratio")
+    # Every YCSB cell must be present and have committed work.
+    cells = [
+        f"ycsb/{mix}/{proto}/{z}"
+        for mix in "ABCDEF"
+        for proto in protos
+        for z in ("z00", "z99")
+    ]
+    cache_sizes = (0, 64, 256, 2048)
+    cells += [f"cache/{n}" for n in cache_sizes]
+    cells += [f"tpcc/w{w}/{proto}" for w in (1, 8) for proto in protos]
+    for cell in cells:
+        for suffix in suffixes:
+            if cell + suffix not in got:
+                fail(f"supp_kv_txn missing metric '{cell + suffix}'")
+        if got[cell + "/commits"] <= 0:
+            fail(f"{cell}/commits is zero — cell committed nothing")
+        if not 0.0 <= got[cell + "/hit_ratio"] <= 1.0:
+            fail(f"{cell}/hit_ratio = {got[cell + '/hit_ratio']:.3f} "
+                 "outside [0, 1]")
+    # Read-only YCSB C takes only shared locks: it must never abort.
+    for proto in protos:
+        for z in ("z00", "z99"):
+            cell = f"ycsb/C/{proto}/{z}"
+            if got[cell + "/aborts"] != 0:
+                fail(f"{cell}/aborts = {got[cell + '/aborts']:.0f}; "
+                     "the read-only mix must never conflict")
+    # Contention responds to skew: the write-heavy mix at Zipf 0.99 must
+    # abort strictly more often than its uniform twin, per protocol.
+    for proto in protos:
+        uniform = got[f"ycsb/A/{proto}/z00/abort_rate"]
+        skewed = got[f"ycsb/A/{proto}/z99/abort_rate"]
+        if skewed <= uniform:
+            fail(
+                f"ycsb/A/{proto}: zipf 0.99 abort rate {skewed:.4f} not "
+                f"above uniform {uniform:.4f} — contention does not "
+                "respond to skew"
+            )
+    # NIC cache effectiveness: capacity 0 is the host-backend baseline
+    # (every access a miss), and the hit ratio must be monotonically
+    # non-decreasing in capacity.
+    if got["cache/0/hit_ratio"] != 0.0:
+        fail(f"cache/0/hit_ratio = {got['cache/0/hit_ratio']:.3f}; the "
+             "host baseline must never hit the NIC cache")
+    if got.get("cache/0/host_reads", 0.0) <= 0:
+        fail("cache/0/host_reads is zero — baseline pages never crossed "
+             "to host memory")
+    last = -1.0
+    for n in cache_sizes:
+        ratio = got[f"cache/{n}/hit_ratio"]
+        if ratio < last:
+            fail(
+                f"cache/{n}/hit_ratio = {ratio:.3f} below the smaller "
+                f"cache's {last:.3f} — hit ratio must be monotone in "
+                "capacity"
+            )
+        last = ratio
+    if last <= 0.0:
+        fail("largest NIC cache still has zero hit ratio — cache never "
+             "served a page")
+    print(
+        "check_perf: OK supp_kv_txn "
+        f"A-mix abort z99/z00 no_wait "
+        f"{got['ycsb/A/no_wait/z99/abort_rate']:.3f}/"
+        f"{got['ycsb/A/no_wait/z00/abort_rate']:.3f}, hit ratio "
+        + " -> ".join(f"{got[f'cache/{n}/hit_ratio']:.3f}"
+                      for n in cache_sizes)
+    )
+
+
 def main():
     if len(sys.argv) != 2:
         print(__doc__)
@@ -256,6 +336,8 @@ def main():
         check_parallel(doc)
     elif doc["bench"] == "supp_multitenant":
         check_multitenant(doc)
+    elif doc["bench"] == "supp_kv_txn":
+        check_kv_txn(doc)
     else:
         fail(f"unknown bench '{doc['bench']}'")
 

@@ -55,6 +55,14 @@
 //                   [--zipf S] [--seed X]
 //       Synthesize a deterministic trace file in the lnic-trace format.
 //
+//   lnicctl kv [--mix A..F|tpcc] [--proto no_wait|wait_die] [--txns N]
+//              [--zipf S] [--cache N] [--rate R] [--seed X] [--shards N]
+//              [--metrics]
+//       Drive one transactional-store cell (YCSB mix or TPC-C-lite
+//       new-order) through the NIC-resident TxnStore's networked path
+//       and print commit/abort/latency/cache rows; with --metrics, also
+//       the kv_* series as the monitoring engine exports them.
+//
 // Exit codes: 0 success, 1 usage error, 2 compile/run failure.
 #include <algorithm>
 #include <cstdio>
@@ -68,11 +76,15 @@
 #include <vector>
 
 #include "common/flightrec.h"
+#include "common/stats.h"
 #include "common/trace.h"
 #include "compiler/pipeline.h"
 #include "core/cluster.h"
 #include "framework/monitor.h"
 #include "framework/timeline.h"
+#include "kvstore/txn.h"
+#include "kvstore/workload.h"
+#include "loadgen/arrival.h"
 #include "loadgen/generator.h"
 #include "microc/disasm.h"
 #include "microc/frontend.h"
@@ -112,7 +124,11 @@ int usage() {
                "  lnicctl loadgen synth [--out <file>] "
                "[--pattern constant|diurnal|burst]\n"
                "                  [--duration-ms D] [--rate R] [--peak P] "
-               "[--functions N] [--zipf S] [--seed X]\n");
+               "[--functions N] [--zipf S] [--seed X]\n"
+               "  lnicctl kv [--mix A..F|tpcc] [--proto no_wait|wait_die] "
+               "[--txns N] [--zipf S]\n"
+               "             [--cache N] [--rate R] [--seed X] [--shards N] "
+               "[--metrics]\n");
   return 1;
 }
 
@@ -147,7 +163,7 @@ std::map<std::string, std::string> parse_flags(int argc, char** argv,
     std::string arg = argv[i];
     if (arg.rfind("--", 0) == 0 || arg == "-o") {
       const std::string key = arg == "-o" ? "--out" : arg;
-      if (key == "--no-opt" || key == "--retransmit") {
+      if (key == "--no-opt" || key == "--retransmit" || key == "--metrics") {
         flags[key] = "1";
       } else if (i + 1 < argc) {
         flags[key] = argv[++i];
@@ -811,6 +827,152 @@ int cmd_loadgen(int argc, char** argv) {
   return usage();
 }
 
+// --------------------------------------------------------------------- kv
+
+/// One transactional-store cell, the lnicctl-sized twin of
+/// bench/supp_kv_txn.cc: open-loop Poisson transactions from a client on
+/// shard 0 into a TxnStore island (store + host memory + RDMA QP) on
+/// shard 1 when sharded.
+int cmd_kv(int argc, char** argv) {
+  auto flags = parse_flags(argc, argv, 2);
+  const std::string mix_name = flags.count("--mix") ? flags["--mix"] : "A";
+  const std::string proto_name =
+      flags.count("--proto") ? flags["--proto"] : "no_wait";
+  const std::uint64_t txns = flag_u64(flags, "--txns", 1000);
+  const double rate = flag_double(flags, "--rate", 150000.0);
+  const std::uint64_t seed = flag_u64(flags, "--seed", 1);
+  const unsigned shards = flag_shards(flags);
+
+  kvstore::TxnStoreConfig config;
+  config.nic_cache_nodes =
+      static_cast<std::size_t>(flag_u64(flags, "--cache", 256));
+  if (proto_name == "no_wait") {
+    config.protocol = kvstore::LockProtocol::kNoWait;
+  } else if (proto_name == "wait_die") {
+    config.protocol = kvstore::LockProtocol::kWaitDie;
+  } else {
+    return usage();
+  }
+
+  sim::ShardedSimulator sharded(shards);
+  net::Network network(sharded);
+  const unsigned island = sharded.shards() > 1 ? 1 : 0;
+  network.set_attach_shard(island);
+  kvstore::TxnStore store(sharded.shard(island), network, config);
+  network.set_attach_shard(0);
+
+  // Build the request factory: one YCSB mix or the TPC-C-lite new-order.
+  std::function<kvstore::TxnRequest()> next;
+  if (mix_name == "tpcc") {
+    kvstore::TpccLiteConfig wconfig;
+    wconfig.warehouses =
+        static_cast<std::uint32_t>(flag_u64(flags, "--warehouses", 1));
+    wconfig.seed = seed;
+    auto workload = std::make_shared<kvstore::TpccLiteWorkload>(wconfig);
+    workload->populate(&store);
+    next = [workload] { return workload->next_order(); };
+  } else if (mix_name.size() == 1 && mix_name[0] >= 'A' &&
+             mix_name[0] <= 'F') {
+    kvstore::YcsbConfig wconfig;
+    wconfig.mix = static_cast<kvstore::YcsbMix>(mix_name[0] - 'A');
+    wconfig.zipf_s = flag_double(flags, "--zipf", 0.99);
+    wconfig.seed = seed;
+    auto workload = std::make_shared<kvstore::YcsbWorkload>(wconfig);
+    workload->populate(&store);
+    next = [workload] { return workload->next(); };
+  } else {
+    return usage();
+  }
+
+  sim::Simulator& client_sim = sharded.shard(0);
+  std::map<RequestId, SimTime> sent_at;
+  Sampler commit_latency;
+  std::uint64_t committed = 0;
+  std::uint64_t aborted_final = 0;
+  const NodeId client = network.attach(
+      [&](const net::Packet& p) {
+        if (p.kind != net::PacketKind::kKvResponse) return;
+        auto it = sent_at.find(p.lambda.request_id);
+        if (it == sent_at.end()) return;
+        const double latency_ns =
+            static_cast<double>(client_sim.now() - it->second);
+        sent_at.erase(it);
+        if (!p.payload.empty() &&
+            p.payload[0] ==
+                static_cast<std::uint8_t>(kvstore::TxnStatus::kCommitted)) {
+          commit_latency.add(latency_ns);
+          ++committed;
+        } else {
+          ++aborted_final;
+        }
+      },
+      &client_sim);
+
+  auto arrivals =
+      loadgen::make_arrivals(loadgen::ArrivalSpec::poisson(rate), seed);
+  std::uint64_t issued = 0;
+  std::function<void()> send_next = [&] {
+    if (issued >= txns) return;
+    net::Packet p;
+    p.src = client;
+    p.dst = store.node();
+    p.kind = net::PacketKind::kKvRequest;
+    p.lambda.workload_id = kvstore::TxnStore::kOpTxn;
+    p.lambda.request_id = ++issued;
+    p.payload = kvstore::TxnStore::encode_txn(next());
+    sent_at[p.lambda.request_id] = client_sim.now();
+    network.send(std::move(p));
+    client_sim.schedule(arrivals->next_gap(), send_next);
+  };
+  client_sim.schedule(arrivals->next_gap(), send_next);
+  sharded.run();
+
+  const auto& stats = store.stats();
+  const std::uint64_t attempts = stats.commits + stats.aborts;
+  std::printf("mix %s, proto %s, %llu txns at %.0f/s, cache %zu nodes, "
+              "%u shard(s)\n",
+              mix_name.c_str(), kvstore::to_string(store.protocol()),
+              static_cast<unsigned long long>(txns), rate,
+              config.nic_cache_nodes, shards);
+  std::printf("  committed %llu, final aborts %llu, aborted attempts %llu "
+              "(rate %.3f), lock waits %llu\n",
+              static_cast<unsigned long long>(committed),
+              static_cast<unsigned long long>(aborted_final),
+              static_cast<unsigned long long>(stats.aborts),
+              attempts == 0 ? 0.0
+                            : static_cast<double>(stats.aborts) /
+                                  static_cast<double>(attempts),
+              static_cast<unsigned long long>(stats.lock_waits));
+  if (!commit_latency.empty()) {
+    std::printf("  commit latency p50 %.3f us, p99 %.3f us\n",
+                commit_latency.median() / 1e3, commit_latency.p99() / 1e3);
+  }
+  const auto& cache = store.cache_stats();
+  std::printf("  NIC cache hit ratio %.3f (%llu hits / %llu misses, "
+              "%llu evictions, %llu invalidations), host reads %llu "
+              "writes %llu\n",
+              cache.hit_ratio(),
+              static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.misses),
+              static_cast<unsigned long long>(cache.evictions),
+              static_cast<unsigned long long>(cache.invalidations),
+              static_cast<unsigned long long>(store.host_stats().reads),
+              static_cast<unsigned long long>(store.host_stats().writes));
+
+  if (flags.count("--metrics")) {
+    framework::Monitor monitor(client_sim);
+    monitor.watch_kv("store0", &store);
+    monitor.scrape();
+    std::printf("\n# kv_* series (monitor registry)\n");
+    std::istringstream rendered(monitor.metrics().render());
+    std::string line;
+    while (std::getline(rendered, line)) {
+      if (line.rfind("kv_", 0) == 0) std::printf("%s\n", line.c_str());
+    }
+  }
+  return committed > 0 ? 0 : 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -824,5 +986,6 @@ int main(int argc, char** argv) {
   if (command == "flightrec") return cmd_flightrec(argc, argv);
   if (command == "timeline") return cmd_timeline(argc, argv);
   if (command == "loadgen") return cmd_loadgen(argc, argv);
+  if (command == "kv") return cmd_kv(argc, argv);
   return usage();
 }
