@@ -1,20 +1,36 @@
 // Wall-clock throughput of the sharded engine: aggregate events/sec vs
-// shard count on the cluster mix.
+// shard count on the cluster mix, across sync modes and placements.
 //
 // The workload is K self-contained λ-NIC islands (SmartNIC worker + kv
 // cache + closed-loop RPC client, all pinned to one shard) with ~1/8 of
-// requests aimed at the next island's NIC, so the run exercises both the
-// embarrassingly parallel case (island-local traffic) and the
-// conservative-sync machinery (cross-shard uplink/downlink split,
-// (time, global-seq) mailbox, window barriers).
+// requests aimed at a peer island's NIC. Four configurations per shard
+// count:
+//
+//   ring          peer = next island, round-robin placement, static
+//                 sync — the PR 8 baseline, byte-identical results.
+//   ring+adaptive peer = next island, locality (block) placement so
+//                 most islands are co-sharded with their peer, EOT
+//                 adaptive sync with per-node local-only declarations.
+//   idle          peer = buddy island (i XOR 1), round-robin placement,
+//                 static sync: every pair straddles a shard boundary,
+//                 so windows stay one lookahead long.
+//   idle+adaptive same pair topology, block placement co-shards every
+//                 pair: zero cross-shard traffic, every island is
+//                 local-only, all EOT reports are +inf — the engine
+//                 collapses the whole run into a handful of windows.
+//
+// The idle pair shows the optimization's headline: identical simulated
+// workload, identical completions, but the adaptive run stops paying a
+// barrier every 25 us of simulated time. The ring pair shows locality
+// placement cutting cross-shard posts on a topology where extension
+// alone cannot help (every shard's frontier stays hot).
 //
 // Link propagation is raised to 25 us: the lookahead — and with it the
-// barrier window — is the physical link delay, and a rack-scale
-// simulation amortizes each barrier over hundreds of events. The
-// simulated *result* (per-request latencies, completion counts) is
-// deterministic per shard count; only the wall-clock rates vary by
-// machine. hw_threads is recorded so tools/check_perf.py enforces the
-// 4-shard speedup floor only where 4 cores actually exist.
+// barrier window — is the physical link delay. Simulated *results*
+// (per-request latencies, completion counts) are deterministic per
+// (topology, shard count); only wall-clock rates vary by machine.
+// hw_threads is recorded so tools/check_perf.py enforces speedup floors
+// only where the cores actually exist.
 //
 // Usage: perf_parallel [--smoke]
 #include <algorithm>
@@ -25,6 +41,7 @@
 #include <cstring>
 #include <functional>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -42,10 +59,26 @@ struct Island {
   std::unique_ptr<backends::Backend> nic;
   std::unique_ptr<kvstore::CacheServer> cache;
   std::unique_ptr<proto::RpcClient> client;
-  NodeId peer = kInvalidNode;  // next island's NIC, for cross traffic
+  NodeId peer = kInvalidNode;  // target of this island's cross traffic
   std::uint64_t issued = 0;
   std::uint64_t completed = 0;
   std::function<void()> issue;
+};
+
+/// One (topology, placement, sync-mode) configuration of the sweep.
+struct RunConfig {
+  const char* family;   // JSON cell prefix ("shardsN" + suffix)
+  const char* label;    // table row label
+  bool pair_topology;   // peer = i ^ 1 instead of (i + 1) % K
+  bool locality;        // block placement instead of round-robin
+  bool adaptive;        // EOT window extension + local-only declarations
+};
+
+constexpr RunConfig kConfigs[] = {
+    {"", "ring/static", false, false, false},
+    {"_adaptive", "ring/adaptive", false, true, true},
+    {"_idle_static", "idle/static", true, false, false},
+    {"_idle_adaptive", "idle/adaptive", true, true, true},
 };
 
 struct SweepPoint {
@@ -54,19 +87,39 @@ struct SweepPoint {
   std::uint64_t completed = 0;       // deterministic per shard count
   std::uint64_t cross_posts = 0;
   std::uint64_t windows = 0;
+  std::uint64_t windows_extended = 0;
   sim::ShardStats stats;             // busy/barrier/sync stall breakdown
 };
 
-SweepPoint run_point(unsigned shards, std::uint64_t requests_per_island,
+std::size_t peer_of(const RunConfig& config, std::size_t i) {
+  return config.pair_topology ? (i ^ 1) : (i + 1) % kIslands;
+}
+
+unsigned shard_of_island(const RunConfig& config, std::size_t i,
+                         unsigned shards) {
+  // Block placement keeps neighbors together (islands {0,1} share a
+  // shard at 4 shards, {0..3} at 2); round-robin scatters them — the
+  // exact PR 8 placement, kept so static cells replay byte-for-byte.
+  if (config.locality) {
+    return static_cast<unsigned>(i * shards / kIslands);
+  }
+  return static_cast<unsigned>(i % shards);
+}
+
+SweepPoint run_point(const RunConfig& config, unsigned shards,
+                     std::uint64_t requests_per_island,
                      std::uint32_t concurrency) {
   sim::ShardedSimulator sharded(shards);
+  // Tightened barrier-outlier paging (default 8x-mean): a perf bench
+  // wants to hear about smaller stalls than a correctness run does.
+  sharded.stats_collector().set_outlier_threshold(6.0);
   net::LinkConfig link;
   link.propagation = microseconds(25);  // lookahead == barrier window
   net::Network network(sharded, link);
 
   std::vector<Island> islands(kIslands);
   for (std::size_t i = 0; i < kIslands; ++i) {
-    const unsigned shard = static_cast<unsigned>(i % sharded.shards());
+    const unsigned shard = shard_of_island(config, i, sharded.shards());
     sim::Simulator& sim = sharded.shard(shard);
     network.set_attach_shard(shard);
     Island& island = islands[i];
@@ -84,8 +137,36 @@ SweepPoint run_point(unsigned shards, std::uint64_t requests_per_island,
   }
   network.set_attach_shard(0);
   for (std::size_t i = 0; i < kIslands; ++i) {
-    islands[i].peer = islands[(i + 1) % kIslands].nic->node();
+    islands[i].peer = islands[peer_of(config, i)].nic->node();
   }
+
+  if (config.adaptive) {
+    // Locality declarations, derived from the placement: an island's
+    // cache answers only its own NIC; its client sends off-shard only
+    // when its peer NIC lives elsewhere; its NIC replies off-shard only
+    // when some caller's client lives elsewhere. Each declaration is a
+    // hard promise the fabric enforces at send time.
+    for (std::size_t i = 0; i < kIslands; ++i) {
+      const unsigned home = shard_of_island(config, i, sharded.shards());
+      network.set_local_only(islands[i].cache->node(), true);
+      const std::size_t peer = peer_of(config, i);
+      if (shard_of_island(config, peer, sharded.shards()) == home) {
+        network.set_local_only(islands[i].client->node(), true);
+      }
+      bool callers_local = true;
+      for (std::size_t j = 0; j < kIslands; ++j) {
+        if (peer_of(config, j) != i) continue;
+        if (shard_of_island(config, j, sharded.shards()) != home) {
+          callers_local = false;
+        }
+      }
+      if (callers_local) {
+        network.set_local_only(islands[i].nic->node(), true);
+      }
+    }
+    network.enable_adaptive_sync();
+  }
+
   sharded.run_until(seconds(20));  // firmware flash
 
   // Closed loop per island; every callback runs on the island's shard
@@ -120,6 +201,7 @@ SweepPoint run_point(unsigned shards, std::uint64_t requests_per_island,
   for (const Island& island : islands) point.completed += island.completed;
   point.cross_posts = sharded.cross_shard_posts();
   point.windows = sharded.windows_executed();
+  point.windows_extended = sharded.windows_extended();
   point.stats = sharded.shard_stats();
   return point;
 }
@@ -150,8 +232,9 @@ int run(std::uint64_t requests_per_island, std::uint32_t concurrency,
               kIslands,
               static_cast<unsigned long long>(requests_per_island),
               concurrency, hw);
-  std::printf("  %8s %16s %14s %12s %12s %10s\n", "shards", "events/sec",
-              "dispatched", "completed", "x-posts", "windows");
+  std::printf("  %-14s %6s %14s %12s %10s %9s %9s %8s\n", "config", "shards",
+              "events/sec", "completed", "x-posts", "windows", "extended",
+              "util");
 
   BenchSummary out("perf_parallel", /*seed=*/1, sweep.back());
   out.add("hw_threads", static_cast<double>(hw), "threads");
@@ -159,53 +242,86 @@ int run(std::uint64_t requests_per_island, std::uint32_t concurrency,
 
   double base_rate = 0.0;
   double rate_at_4 = 0.0;
+  double idle_static_at_4 = 0.0;
+  double idle_adaptive_at_4 = 0.0;
   double worst_sum_err = 0.0;
-  for (const unsigned shards : sweep) {
-    const SweepPoint p = run_point(shards, requests_per_island, concurrency);
-    std::printf("  %8u %16.0f %14llu %12llu %12llu %10llu\n", shards,
-                p.events_per_sec,
-                static_cast<unsigned long long>(p.dispatched),
-                static_cast<unsigned long long>(p.completed),
-                static_cast<unsigned long long>(p.cross_posts),
-                static_cast<unsigned long long>(p.windows));
-    const std::string cell = "shards" + std::to_string(shards);
-    out.add(cell + "_events_per_sec", p.events_per_sec, "events/s");
-    out.add(cell + "_dispatched", static_cast<double>(p.dispatched),
-            "events");
-    out.add(cell + "_completed", static_cast<double>(p.completed),
-            "requests");
-    out.add(cell + "_cross_posts", static_cast<double>(p.cross_posts),
-            "events");
-    // Stall breakdown: *why* the shardsN row scales (or plateaus) — a
-    // high barrier share means load imbalance across islands, a high
-    // sync share means windows too short to amortize the serial merge.
-    const double sum_err = stall_sum_error_pct(p.stats);
-    worst_sum_err = std::max(worst_sum_err, sum_err);
-    std::uint64_t busy_total = 0;
-    std::uint64_t barrier_total = 0;
-    for (unsigned s = 0; s < p.stats.shards; ++s) {
-      busy_total += p.stats.busy_ns[s];
-      barrier_total += p.stats.barrier_ns[s];
+  for (const RunConfig& config : kConfigs) {
+    for (const unsigned shards : sweep) {
+      const SweepPoint p =
+          run_point(config, shards, requests_per_island, concurrency);
+      std::printf("  %-14s %6u %14.0f %12llu %10llu %9llu %9llu %8.2f\n",
+                  config.label, shards, p.events_per_sec,
+                  static_cast<unsigned long long>(p.completed),
+                  static_cast<unsigned long long>(p.cross_posts),
+                  static_cast<unsigned long long>(p.windows),
+                  static_cast<unsigned long long>(p.windows_extended),
+                  p.stats.lookahead_utilization);
+      const std::string cell =
+          "shards" + std::to_string(shards) + config.family;
+      out.add(cell + "_events_per_sec", p.events_per_sec, "events/s");
+      out.add(cell + "_dispatched", static_cast<double>(p.dispatched),
+              "events");
+      out.add(cell + "_completed", static_cast<double>(p.completed),
+              "requests");
+      out.add(cell + "_cross_posts", static_cast<double>(p.cross_posts),
+              "events");
+      out.add(cell + "_windows", static_cast<double>(p.windows), "windows");
+      out.add(cell + "_windows_extended",
+              static_cast<double>(p.windows_extended), "windows");
+      out.add(cell + "_window_span_ns", p.stats.mean_window_span_ns, "ns");
+      // Stall breakdown: *why* a row scales (or plateaus) — a high
+      // barrier share means load imbalance across islands, a high sync
+      // share means windows too short to amortize the serial merge.
+      const double sum_err = stall_sum_error_pct(p.stats);
+      worst_sum_err = std::max(worst_sum_err, sum_err);
+      std::uint64_t busy_total = 0;
+      std::uint64_t barrier_total = 0;
+      for (unsigned s = 0; s < p.stats.shards; ++s) {
+        busy_total += p.stats.busy_ns[s];
+        barrier_total += p.stats.barrier_ns[s];
+      }
+      out.add(cell + "_busy_ns", static_cast<double>(busy_total), "ns");
+      out.add(cell + "_barrier_ns", static_cast<double>(barrier_total), "ns");
+      out.add(cell + "_sync_ns", static_cast<double>(p.stats.sync_wall_ns()),
+              "ns");
+      out.add(cell + "_wall_ns", static_cast<double>(p.stats.total_wall_ns),
+              "ns");
+      out.add(cell + "_stall_sum_err_pct", sum_err, "%");
+      out.add(cell + "_lookahead_util", p.stats.lookahead_utilization,
+              "ratio");
+      if (shards > 1) {
+        std::printf("  -- %s", p.stats.to_string().c_str());
+      }
+      if (std::strlen(config.family) == 0) {
+        if (shards == 1) base_rate = p.events_per_sec;
+        if (shards == 4) rate_at_4 = p.events_per_sec;
+      }
+      if (shards == 4 &&
+          std::strcmp(config.family, "_idle_static") == 0) {
+        idle_static_at_4 = p.events_per_sec;
+      }
+      if (shards == 4 &&
+          std::strcmp(config.family, "_idle_adaptive") == 0) {
+        idle_adaptive_at_4 = p.events_per_sec;
+      }
     }
-    out.add(cell + "_busy_ns", static_cast<double>(busy_total), "ns");
-    out.add(cell + "_barrier_ns", static_cast<double>(barrier_total), "ns");
-    out.add(cell + "_sync_ns", static_cast<double>(p.stats.sync_wall_ns()),
-            "ns");
-    out.add(cell + "_wall_ns", static_cast<double>(p.stats.total_wall_ns),
-            "ns");
-    out.add(cell + "_stall_sum_err_pct", sum_err, "%");
-    out.add(cell + "_lookahead_util", p.stats.lookahead_utilization,
-            "ratio");
-    std::printf("  -- %s", p.stats.to_string().c_str());
-    if (shards == 1) base_rate = p.events_per_sec;
-    if (shards == 4) rate_at_4 = p.events_per_sec;
   }
   if (base_rate > 0 && rate_at_4 > 0) {
     const double speedup = rate_at_4 / base_rate;
-    std::printf("\n  4-shard speedup over 1 shard: %.2fx%s\n", speedup,
+    std::printf("\n  4-shard speedup over 1 shard (ring/static): %.2fx%s\n",
+                speedup,
                 hw < 4 ? " (machine has <4 hw threads; not meaningful)"
                        : "");
     out.add("speedup_4x", speedup, "ratio");
+  }
+  if (idle_static_at_4 > 0 && idle_adaptive_at_4 > 0) {
+    const double speedup = idle_adaptive_at_4 / idle_static_at_4;
+    std::printf("  adaptive+locality speedup at 4 shards (idle frontier): "
+                "%.2fx%s\n",
+                speedup,
+                hw < 4 ? " (machine has <4 hw threads; not meaningful)"
+                       : "");
+    out.add("idle_speedup_4x", speedup, "ratio");
   }
   std::printf("  worst stall-breakdown sum error: %.3f%% of wall\n",
               worst_sum_err);

@@ -9,7 +9,13 @@
 // workers — 100x the paper's 4-worker testbed — behind one gateway,
 // driven open-loop by loadgen:: Poisson arrivals, with the workers
 // spread across event shards (sim/sharded.h). Usage:
-//   supp_load_scaling [--smoke] [--shards N]
+//   supp_load_scaling [--smoke] [--shards N] [--adaptive]
+//
+// --adaptive turns on EOT window extension (sim/sharded.h). The rack's
+// frontier is hot in steady state — every shard hosts workers that reply
+// to the shard-0 gateway — so most windows stay at the static floor; the
+// extensions show up around the drain tail, and the window counters land
+// in the JSON either way.
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -28,7 +34,7 @@ namespace {
 /// 1..N-1 (gateway, cache and the generator on shard 0), Poisson
 /// open-loop arrivals at `rate_rps` for `window`.
 void run_scale_section(BenchSummary& summary, unsigned shards,
-                       std::size_t workers, double rate_rps,
+                       bool adaptive, std::size_t workers, double rate_rps,
                        SimDuration window) {
   sim::ShardedSimulator sharded(shards);
   sim::Simulator& sim0 = sharded.shard(0);
@@ -54,6 +60,12 @@ void run_scale_section(BenchSummary& summary, unsigned shards,
     nodes.push_back(pool.back()->node());
   }
   network.set_attach_shard(0);
+  if (adaptive) {
+    // Every node here is remote-capable (workers answer the shard-0
+    // gateway; the shard-0 cache answers workers), so no local-only
+    // declarations: each shard's EOT is simply its next event time.
+    network.enable_adaptive_sync();
+  }
   sharded.run_until(seconds(40));  // firmware flash across the rack
 
   framework::GatewayConfig config;
@@ -99,6 +111,12 @@ void run_scale_section(BenchSummary& summary, unsigned shards,
   summary.add("scale/violation_frac", report.violation_fraction, "fraction");
   summary.add("scale/cross_shard_posts",
               static_cast<double>(sharded.cross_shard_posts()), "count");
+  summary.add("scale/windows",
+              static_cast<double>(sharded.windows_executed()), "windows");
+  summary.add("scale/windows_extended",
+              static_cast<double>(sharded.windows_extended()), "windows");
+  summary.add("scale/window_span_ns",
+              sharded.shard_stats().mean_window_span_ns, "ns");
 }
 
 }  // namespace
@@ -109,6 +127,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
   }
   const unsigned shards = shards_from_args(argc, argv);
+  const bool adaptive = adaptive_from_args(argc, argv);
 
   print_header("Supplementary: load scaling, web server");
   BenchSummary summary("supp_load_scaling", /*seed=*/1, shards);
@@ -122,7 +141,7 @@ int main(int argc, char** argv) {
     std::printf("\n-- %s --\n", backends::to_string(kind));
     std::printf("  %10s %14s %14s\n", "senders", "req/s", "p99 (ms)");
     for (const auto c : concurrencies) {
-      BackendRig rig(kind, /*worker_threads=*/56, shards);
+      BackendRig rig(kind, /*worker_threads=*/56, shards, adaptive);
       WorkloadCase test{
           "web", workloads::kWebServerId,
           [](std::uint64_t i) { return workloads::encode_web_request(i & 3); },
@@ -146,7 +165,7 @@ int main(int argc, char** argv) {
               "  senders and queueing inflates their tails linearly.\n");
 
   // 100x today's 4-worker cluster (40x under --smoke, for CI).
-  run_scale_section(summary, shards,
+  run_scale_section(summary, shards, adaptive,
                     /*workers=*/smoke ? 40 : 400,
                     /*rate_rps=*/smoke ? 50'000.0 : 200'000.0,
                     /*window=*/smoke ? milliseconds(20) : milliseconds(50));

@@ -52,10 +52,25 @@ struct ClusterConfig {
   std::uint64_t seed = 7;
   // Event shards the cluster runs on. 1 (the default) is the classic
   // single-threaded engine, byte-identical to every earlier release.
-  // With N > 1 the master stack (gateway, cache, etcd, manager) lives on
-  // shard 0 and workers round-robin across shards 1..N-1, synchronized
-  // conservatively on the link delay (see sim/sharded.h).
+  // With N > 1 the master stack (gateway, cache, etcd, manager) gets
+  // shard 0 to itself and workers spread across shards 1..N-1,
+  // synchronized conservatively on the link delay (see sim/sharded.h).
   unsigned shards = 1;
+  // Locality-aware worker placement: worker_islands[i] names the island
+  // (rack/topology group) worker i belongs to. Workers of one island are
+  // always co-sharded — islands are greedily assigned to the
+  // least-loaded worker shard (lowest index wins ties), so island-local
+  // traffic never crosses a shard boundary. Empty (the default) treats
+  // each worker as its own island, which reproduces the legacy
+  // round-robin byte-for-byte. Size must equal the worker count.
+  std::vector<unsigned> worker_islands;
+  // EOT-based adaptive window extension (see sim/sharded.h). Off by
+  // default: static windows are byte-identical to earlier releases.
+  bool adaptive_sync = false;
+  // Shard-affinity replica selection at the gateway: prefer co-sharded
+  // replicas when route weights are uniform (framework/gateway.h). Off
+  // by default.
+  bool shard_affinity_routing = false;
 
   /// The effective per-worker kinds after applying the homogeneous
   /// convenience expansion.

@@ -158,6 +158,14 @@ void Monitor::scrape() {
         static_cast<double>(stats.sync_wall_ns());
     metrics_.gauge("sim_shard_lookahead_utilization") =
         stats.lookahead_utilization;
+    metrics_.gauge("sim_shard_windows_extended_total") =
+        static_cast<double>(stats.windows_extended);
+    metrics_.gauge("sim_shard_mean_window_span_ns") =
+        stats.mean_window_span_ns;
+    metrics_.gauge("sim_shard_barrier_outliers_total") =
+        static_cast<double>(stats.barrier_outliers);
+    metrics_.gauge("sim_shard_barrier_outlier_threshold") =
+        stats.outlier_threshold;
     for (unsigned s = 0; s < stats.shards; ++s) {
       const std::string sid = std::to_string(s);
       metrics_.gauge("sim_shard_busy_ns_total", {{"shard", sid}}) =

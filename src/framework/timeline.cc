@@ -93,8 +93,11 @@ std::string export_timeline(const TimelineInputs& inputs) {
             window.wall_ns > busy ? window.wall_ns - busy : 0;
         append_span_open(out, first, "shard.window", ts, dur,
                          kTimelineShardPid, s);
+        // "extension" names what set the window's end: the static
+        // lookahead floor, or an EOT report that stretched it.
         out << "\"busy_ns\":\"" << busy << "\",\"barrier_ns\":\"" << barrier
-            << "\",\"wall_ns\":\"" << window.wall_ns << "\"}}";
+            << "\",\"wall_ns\":\"" << window.wall_ns << "\",\"extension\":\""
+            << (window.eot_extended ? "eot" : "floor") << "\"}}";
       }
     }
   }

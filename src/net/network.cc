@@ -31,6 +31,7 @@ Network::Network(sim::ShardedSimulator& sharded, LinkConfig link,
   for (unsigned s = 0; s < sharded.shards(); ++s) {
     shard_rngs_.emplace_back(shard_seed(seed, s));
   }
+  remote_ports_.assign(sharded.shards(), 0);
   // The fabric's minimum cross-shard latency: a packet leaving one shard
   // spends at least propagation + switch forwarding in flight before any
   // state on the destination shard is touched. This is the lookahead
@@ -57,7 +58,36 @@ NodeId Network::attach(PacketHandler handler, const sim::Simulator* owner) {
   port.handler = std::move(handler);
   port.shard = sharded_ != nullptr ? attach_shard_ : 0;
   ports_.push_back(std::move(port));
+  if (sharded_ != nullptr) ++remote_ports_[attach_shard_];
   return static_cast<NodeId>(ports_.size() - 1);
+}
+
+void Network::set_local_only(NodeId node, bool local_only) {
+  assert(node < ports_.size());
+  Port& port = ports_[node];
+  if (port.local_only == local_only) return;
+  port.local_only = local_only;
+  if (sharded_ == nullptr) return;
+  if (local_only) {
+    --remote_ports_[port.shard];
+  } else {
+    ++remote_ports_[port.shard];
+  }
+}
+
+void Network::enable_adaptive_sync() {
+  if (sharded_ == nullptr) return;
+  for (unsigned s = 0; s < sharded_->shards(); ++s) {
+    // Pure function of simulated state: the remote-capable census is
+    // fixed after setup and next_event_time() is the shard's own queue.
+    // A shard with no remote-capable nodes can never send off-shard, so
+    // its outbound frontier is idle by construction.
+    sharded_->set_eot_source(s, [this, s]() -> SimTime {
+      return remote_ports_[s] == 0 ? kSimTimeMax
+                                   : sharded_->shard(s).next_event_time();
+    });
+  }
+  sharded_->set_adaptive_sync(true);
 }
 
 void Network::set_handler(NodeId node, PacketHandler handler) {
@@ -142,6 +172,17 @@ void Network::send_local(Packet packet, sim::Simulator& sim, Rng& rng) {
 
 void Network::send_cross(Packet packet, unsigned src_shard,
                          unsigned dst_shard) {
+  if (ports_[packet.src].local_only) {
+    // The locality promise feeds adaptive EOT reports; breaking it could
+    // deliver into another shard's past, so fail loudly in every mode.
+    std::fprintf(stderr,
+                 "Network::send_cross: node %llu was declared local-only "
+                 "(set_local_only) but sent from shard %u to shard %u — fix "
+                 "the locality declaration or the placement\n",
+                 static_cast<unsigned long long>(packet.src), src_shard,
+                 dst_shard);
+    std::abort();
+  }
   sent_.fetch_add(1, std::memory_order_relaxed);
   bytes_.fetch_add(packet.wire_size(), std::memory_order_relaxed);
 

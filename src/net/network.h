@@ -21,6 +21,11 @@
 // — is registered as the simulator's lookahead, making the physical link
 // delay the conservative-sync contract. With one shard the classic
 // synchronous path runs unchanged, byte-for-byte.
+//
+// Adaptive sync: set_local_only() lets topology-aware callers declare
+// nodes that never send off-shard; enable_adaptive_sync() turns those
+// declarations into per-shard EOT sources so idle-frontier shards stop
+// capping the engine's window length (see sim/sharded.h).
 #pragma once
 
 #include <atomic>
@@ -80,6 +85,26 @@ class Network {
   /// runs): the handler is read by that shard's thread.
   void set_handler(NodeId node, PacketHandler handler);
 
+  /// Declares that `node` never sends to a node on another shard (e.g. a
+  /// cache that only its co-sharded worker talks to, or a client whose
+  /// one peer is co-sharded). Default false — every node is assumed
+  /// remote-capable, which is always sound. A shard whose attached nodes
+  /// are all local-only has an idle outbound frontier, so its adaptive
+  /// EOT report is +inf and it never caps a window. The declaration is a
+  /// hard promise: a local-only node sending cross-shard aborts, in
+  /// every mode, so a misdeclaration can never silently corrupt an
+  /// adaptive replay. Call during setup (before runs).
+  void set_local_only(NodeId node, bool local_only);
+  bool local_only(NodeId node) const { return ports_[node].local_only; }
+
+  /// Turns on EOT-based adaptive window extension (sharded mode only;
+  /// no-op otherwise): registers one EOT source per shard — +inf when
+  /// the shard has zero remote-capable nodes attached, else the shard's
+  /// next_event_time() (the earliest anything can run there, hence the
+  /// earliest it could send). Then enables adaptive sync on the engine.
+  /// Call after attaching nodes and declaring locality.
+  void enable_adaptive_sync();
+
   /// Queues `packet` for delivery. src/dst must be attached nodes.
   void send(Packet packet);
 
@@ -138,8 +163,14 @@ class Network {
     SimTime uplink_free_at = 0;    // written only by the node's shard
     SimTime downlink_free_at = 0;  // written only by the node's shard
     unsigned shard = 0;
+    bool local_only = false;       // promised never to send cross-shard
   };
   std::vector<Port> ports_;
+
+  // Remote-capable (not local-only) attached nodes per shard; a zero
+  // entry makes that shard's EOT source report an idle frontier. Written
+  // during setup, read by the coordinator between windows.
+  std::vector<std::size_t> remote_ports_;
 
   std::atomic<std::uint64_t> sent_{0};
   std::atomic<std::uint64_t> dropped_{0};

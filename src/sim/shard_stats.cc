@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/flightrec.h"
 
@@ -14,15 +15,29 @@ ShardStatsCollector::ShardStatsCollector(unsigned shards)
       events_(shards_, 0),
       cross_matrix_(static_cast<std::size_t>(shards_) * shards_, 0) {}
 
+void ShardStatsCollector::set_outlier_threshold(double multiple) {
+  if (!(multiple > 1.0)) {
+    std::fprintf(stderr,
+                 "ShardStatsCollector: outlier threshold must be > 1 "
+                 "(got %f); 1x-mean would flag every window\n",
+                 multiple);
+    std::abort();
+  }
+  outlier_threshold_ = multiple;
+}
+
 void ShardStatsCollector::record_window(
-    SimTime t0, SimTime end, SimDuration lookahead, std::uint64_t wall_ns,
-    const std::vector<std::uint64_t>& busy_ns,
+    SimTime t0, SimTime end, SimDuration lookahead, bool eot_extended,
+    std::uint64_t wall_ns, const std::vector<std::uint64_t>& busy_ns,
     const std::vector<std::uint64_t>& events) {
   // Outlier check against the mean of the windows seen so far; needs a
   // burn-in so startup jitter (cold caches, thread wake-up) doesn't page.
   if (windows_ >= 32) {
     const std::uint64_t mean = window_wall_ns_ / windows_;
-    if (mean > 0 && wall_ns > 8 * mean) {
+    if (mean > 0 &&
+        static_cast<double>(wall_ns) >
+            outlier_threshold_ * static_cast<double>(mean)) {
+      ++barrier_outliers_;
       flightrec::FlightRecorder::global().record(
           t0, flightrec::Kind::kBarrierOutlier, windows_, wall_ns,
           "window wall " + std::to_string(wall_ns) + " ns vs mean " +
@@ -30,6 +45,7 @@ void ShardStatsCollector::record_window(
     }
   }
   ++windows_;
+  if (eot_extended) ++windows_extended_;
   window_wall_ns_ += wall_ns;
   for (unsigned s = 0; s < shards_; ++s) {
     const std::uint64_t busy = std::min(busy_ns[s], wall_ns);
@@ -38,10 +54,16 @@ void ShardStatsCollector::record_window(
     events_[s] += events[s];
   }
   if (lookahead > 0 && lookahead != kSimTimeMax) {
-    span_sum_ += static_cast<double>(end - t0 + 1);
+    const double span = static_cast<double>(end - t0 + 1);
+    // Extended windows can span far beyond the static horizon; clamp the
+    // utilization contribution so the ratio stays a fraction of the
+    // horizon (saturating at 1.0) while the raw span feeds the mean.
+    util_span_sum_ += std::min(span, static_cast<double>(lookahead));
     horizon_sum_ += static_cast<double>(lookahead);
+    span_sum_ += span;
+    ++span_windows_;
   }
-  ShardStats::Window record{t0, end, wall_ns, busy_ns};
+  ShardStats::Window record{t0, end, wall_ns, eot_extended, busy_ns};
   if (recent_.size() < recent_capacity_) {
     recent_.push_back(std::move(record));
   } else if (recent_capacity_ > 0) {
@@ -72,8 +94,11 @@ ShardStats ShardStatsCollector::snapshot() const {
   ShardStats out;
   out.shards = shards_;
   out.windows = windows_;
+  out.windows_extended = windows_extended_;
   out.total_wall_ns = total_wall_ns_;
   out.window_wall_ns = window_wall_ns_;
+  out.barrier_outliers = barrier_outliers_;
+  out.outlier_threshold = outlier_threshold_;
   out.busy_ns = busy_ns_;
   out.barrier_ns = barrier_ns_;
   out.events = events_;
@@ -85,7 +110,9 @@ ShardStats ShardStatsCollector::snapshot() const {
     }
   }
   out.lookahead_utilization =
-      horizon_sum_ > 0.0 ? span_sum_ / horizon_sum_ : 1.0;
+      horizon_sum_ > 0.0 ? util_span_sum_ / horizon_sum_ : 1.0;
+  out.mean_window_span_ns =
+      span_windows_ > 0 ? span_sum_ / static_cast<double>(span_windows_) : 0.0;
   // Unroll the ring oldest-first.
   out.recent.reserve(recent_.size());
   for (std::size_t i = 0; i < recent_.size(); ++i) {
@@ -99,10 +126,12 @@ std::string ShardStats::to_string() const {
   std::string out;
   char line[256];
   std::snprintf(line, sizeof(line),
-                "shard stall breakdown: %u shard(s), %llu window(s), "
-                "lookahead utilization %.2f\n",
+                "shard stall breakdown: %u shard(s), %llu window(s) "
+                "(%llu EOT-extended), lookahead utilization %.2f, "
+                "mean window span %.0f ns\n",
                 shards, static_cast<unsigned long long>(windows),
-                lookahead_utilization);
+                static_cast<unsigned long long>(windows_extended),
+                lookahead_utilization, mean_window_span_ns);
   out += line;
   const double total_ms = static_cast<double>(total_wall_ns) / 1e6;
   const double sync_ms = static_cast<double>(sync_wall_ns()) / 1e6;

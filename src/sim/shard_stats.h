@@ -17,6 +17,13 @@
 // for a conservative-barrier engine IS the barrier wait (run_until
 // never sleeps mid-window), plus the shard's share of the serial sync.
 //
+// Adaptive windows (see sim/sharded.h) add two readings: per window,
+// whether the span came from the static lookahead floor or an EOT
+// extension, and the mean simulated window span. Lookahead utilization
+// clamps each window's contribution to the lookahead horizon so it
+// stays in (0, 1] — extended windows saturate it at 1.0 instead of
+// inflating it past the scale.
+//
 // Threading contract: every mutator and snapshot() run on the
 // coordinating thread (between windows, or during shard 0's window —
 // the Monitor's scrape timer fires inside shard 0's event loop, which
@@ -38,6 +45,9 @@ namespace lnic::sim {
 struct ShardStats {
   unsigned shards = 1;
   std::uint64_t windows = 0;
+  /// Windows whose end was pushed past the static lookahead floor by an
+  /// EOT report (adaptive sync; 0 in static mode).
+  std::uint64_t windows_extended = 0;
   /// Wall nanoseconds inside run()/run_until() calls (all of them).
   std::uint64_t total_wall_ns = 0;
   /// Σ per-window walls (parallel region, slowest shard paces it).
@@ -59,15 +69,27 @@ struct ShardStats {
     return cross_matrix[src * shards + dst];
   }
 
-  /// Mean simulated window span / lookahead: 1.0 means every window used
-  /// its full horizon; low values mean event times force short windows.
+  /// Mean min(window span, lookahead) / lookahead: 1.0 means every
+  /// window used at least its full static horizon; low values mean
+  /// event times force short windows. Always in (0, 1] once a window
+  /// ran.
   double lookahead_utilization = 0.0;
+
+  /// Mean simulated window span in ns (extended windows included, so
+  /// this can exceed the lookahead; 0 before the first window).
+  double mean_window_span_ns = 0.0;
+
+  /// Barrier-wall outliers flagged to the flight recorder, and the
+  /// multiple-of-mean threshold that flags them.
+  std::uint64_t barrier_outliers = 0;
+  double outlier_threshold = 8.0;
 
   /// Recent windows (bounded ring, oldest first) for timeline export.
   struct Window {
     SimTime t0 = 0;            // simulated window start
     SimTime end = 0;           // simulated window end (inclusive)
     std::uint64_t wall_ns = 0; // coordinator wall time for the window
+    bool eot_extended = false; // end set by an EOT report, not the floor
     std::vector<std::uint64_t> busy_ns;  // per shard
   };
   std::vector<Window> recent;
@@ -84,11 +106,14 @@ class ShardStatsCollector {
   explicit ShardStatsCollector(unsigned shards);
 
   /// One completed window: `busy_ns`/`events` are per-shard (size ==
-  /// shards), `wall_ns` the coordinator-measured window wall. Flags a
-  /// flight-recorder barrier outlier when a window's wall blows past the
-  /// running mean.
+  /// shards), `wall_ns` the coordinator-measured window wall. `end`
+  /// must be the *effective* end (drain windows pass the drained
+  /// clock, never kSimTimeMax). `eot_extended` marks windows whose end
+  /// came from an EOT report rather than the static lookahead floor.
+  /// Flags a flight-recorder barrier outlier when a window's wall blows
+  /// past the running mean by more than the configured threshold.
   void record_window(SimTime t0, SimTime end, SimDuration lookahead,
-                     std::uint64_t wall_ns,
+                     bool eot_extended, std::uint64_t wall_ns,
                      const std::vector<std::uint64_t>& busy_ns,
                      const std::vector<std::uint64_t>& events);
 
@@ -103,20 +128,33 @@ class ShardStatsCollector {
 
   void set_recent_capacity(std::size_t n) { recent_capacity_ = n; }
 
+  /// Barrier-outlier sensitivity: a window is flight-recorded when its
+  /// wall exceeds `multiple` times the running mean (after burn-in).
+  /// Benches tighten this to catch smaller stalls; must be > 1.
+  void set_outlier_threshold(double multiple);
+  double outlier_threshold() const { return outlier_threshold_; }
+
   ShardStats snapshot() const;
 
  private:
   unsigned shards_;
   std::uint64_t windows_ = 0;
+  std::uint64_t windows_extended_ = 0;
   std::uint64_t total_wall_ns_ = 0;
   std::uint64_t window_wall_ns_ = 0;
+  std::uint64_t barrier_outliers_ = 0;
+  double outlier_threshold_ = 8.0;
   std::vector<std::uint64_t> busy_ns_;
   std::vector<std::uint64_t> barrier_ns_;
   std::vector<std::uint64_t> events_;
   std::vector<std::uint64_t> cross_matrix_;
   // Lookahead-utilization accumulators (windows with finite lookahead).
-  double span_sum_ = 0.0;
+  // util_span_sum_ clamps each window's span to its lookahead horizon;
+  // span_sum_ keeps the full span for the mean-window-span reading.
+  double util_span_sum_ = 0.0;
   double horizon_sum_ = 0.0;
+  double span_sum_ = 0.0;
+  std::uint64_t span_windows_ = 0;
   std::vector<ShardStats::Window> recent_;
   std::size_t recent_head_ = 0;  // ring insertion point once full
   std::size_t recent_capacity_ = 1024;

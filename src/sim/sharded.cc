@@ -36,6 +36,18 @@ std::uint64_t run_shard(Simulator& sim, SimTime end) {
   std::abort();
 }
 
+[[noreturn]] void die_eot(SimTime at, unsigned src, unsigned dst,
+                          SimTime window_end) {
+  std::fprintf(stderr,
+               "ShardedSimulator: EOT contract violation: shard %u posted a "
+               "cross-shard event to shard %u at t=%" PRId64
+               " ns inside the adaptive window ending t=%" PRId64
+               " ns; an EOT source promised no sends this early (check "
+               "net::Network::set_local_only declarations)\n",
+               src, dst, at, window_end);
+  std::abort();
+}
+
 }  // namespace
 
 ShardedSimulator::ShardedSimulator(unsigned shards) {
@@ -43,8 +55,10 @@ ShardedSimulator::ShardedSimulator(unsigned shards) {
   shards_.resize(shards);
   for (auto& sh : shards_) {
     sh.sim = std::make_unique<Simulator>();
+    sh.outbox_by_dst.resize(shards);
     sh.posts_by_dst.assign(shards, 0);
   }
+  eot_sources_.resize(shards);
   stats_ = std::make_unique<ShardStatsCollector>(shards);
   if (shards > 1) {
     workers_.reserve(shards - 1);
@@ -80,6 +94,21 @@ Status ShardedSimulator::validate_lookahead() const {
   return Status::ok_status();
 }
 
+void ShardedSimulator::set_eot_source(unsigned s, EotFn fn) {
+  eot_sources_[s] = std::move(fn);
+}
+
+SimTime ShardedSimulator::min_eot() const {
+  SimTime eot = kSimTimeMax;
+  for (unsigned s = 0; s < shards(); ++s) {
+    const SimTime shard_eot = eot_sources_[s]
+                                  ? eot_sources_[s]()
+                                  : shards_[s].sim->next_event_time();
+    eot = std::min(eot, shard_eot);
+  }
+  return eot;
+}
+
 void ShardedSimulator::post(unsigned src, unsigned dst, SimTime at,
                             EventFn fn) {
   if (src == dst) {
@@ -88,40 +117,62 @@ void ShardedSimulator::post(unsigned src, unsigned dst, SimTime at,
   }
   Shard& shard = shards_[src];
   if (at < shard.sim->now()) die_lookahead(at, src, shard.sim->now());
+  // A cross-shard arrival inside the current window means another shard
+  // may already be past `at` — the static lookahead makes this impossible
+  // (at >= t + L > end), so in adaptive mode it can only mean an EOT
+  // source under-promised. Catch it here, deterministically, instead of
+  // letting a sometimes-late delivery corrupt replays.
+  if (adaptive_ && window_active_ && at <= window_end_) {
+    die_eot(at, src, dst, window_end_);
+  }
   const std::uint64_t gseq =
       (static_cast<std::uint64_t>(src) << 48) | shard.next_post_seq++;
   ++shard.posts_by_dst[dst];
-  shard.outbox.push_back(RemoteEvent{at, gseq, dst, std::move(fn)});
+  shard.outbox_by_dst[dst].push_back(RemoteEvent{at, gseq, std::move(fn)});
+  ++shard.outbox_count;
 }
 
 void ShardedSimulator::flush_remote() {
-  std::vector<RemoteEvent> batch;
-  for (auto& sh : shards_) {
-    if (sh.outbox.empty()) continue;
-    for (auto& e : sh.outbox) batch.push_back(std::move(e));
-    sh.outbox.clear();
+  std::size_t total = 0;
+  for (const auto& sh : shards_) total += sh.outbox_count;
+  if (total == 0) {
+    // No cross-shard traffic this window: skip the merge outright.
+    ++merge_skips_;
+    return;
   }
-  if (batch.empty()) return;
-  // (time, global-seq) order makes destination insertion order — and so
-  // each destination's same-tick dispatch order — independent of thread
-  // scheduling.
-  std::sort(batch.begin(), batch.end(),
-            [](const RemoteEvent& a, const RemoteEvent& b) {
-              if (a.at != b.at) return a.at < b.at;
-              return a.gseq < b.gseq;
-            });
-  for (auto& e : batch) {
-    Simulator& dst = *shards_[e.dst].sim;
-    if (e.at < dst.now()) die_lookahead(e.at, e.dst, dst.now());
-    dst.schedule_at(e.at, std::move(e.fn));
+  // Merge per destination: each destination's insertion order under a
+  // per-dst (time, global-seq) sort is the same subsequence the old
+  // global sort produced, so same-tick dispatch order — and output
+  // bytes — are unchanged, while untouched destinations cost nothing.
+  for (unsigned dst = 0; dst < shards(); ++dst) {
+    merge_buf_.clear();
+    for (auto& sh : shards_) {
+      auto& box = sh.outbox_by_dst[dst];
+      for (auto& e : box) merge_buf_.push_back(std::move(e));
+      box.clear();  // keeps capacity: steady state allocates nothing
+    }
+    if (merge_buf_.empty()) continue;
+    std::sort(merge_buf_.begin(), merge_buf_.end(),
+              [](const RemoteEvent& a, const RemoteEvent& b) {
+                if (a.at != b.at) return a.at < b.at;
+                return a.gseq < b.gseq;
+              });
+    Simulator& d = *shards_[dst].sim;
+    for (auto& e : merge_buf_) {
+      if (e.at < d.now()) die_lookahead(e.at, dst, d.now());
+      d.schedule_at(e.at, std::move(e.fn));
+    }
   }
+  for (auto& sh : shards_) sh.outbox_count = 0;
 }
 
-std::uint64_t ShardedSimulator::run_window(SimTime t0, SimTime end) {
+std::uint64_t ShardedSimulator::run_window(SimTime t0, SimTime end,
+                                           bool eot_extended) {
   const auto window_start = WallClock::now();
   {
     std::lock_guard<std::mutex> lk(mu_);
     window_end_ = end;
+    window_active_ = true;
     done_count_ = 0;
     ++epoch_;
   }
@@ -135,6 +186,7 @@ std::uint64_t ShardedSimulator::run_window(SimTime t0, SimTime end) {
   {
     std::unique_lock<std::mutex> lk(mu_);
     cv_done_.wait(lk, [&] { return done_count_ == workers_.size(); });
+    window_active_ = false;
     for (std::size_t s = 1; s < shards_.size(); ++s) {
       total += shards_[s].window_dispatched;
     }
@@ -150,7 +202,15 @@ std::uint64_t ShardedSimulator::run_window(SimTime t0, SimTime end) {
     events[s] = shards_[s].window_dispatched;
     stats_->set_cross_row(static_cast<unsigned>(s), shards_[s].posts_by_dst);
   }
-  stats_->record_window(t0, end, lookahead_, wall_ns, busy, events);
+  // Drain windows run to kSimTimeMax; record where the clocks actually
+  // stopped so spans stay finite for the timeline and span accounting.
+  SimTime eff_end = end;
+  if (end == kSimTimeMax) {
+    eff_end = t0;
+    for (const auto& sh : shards_) eff_end = std::max(eff_end, sh.sim->now());
+  }
+  stats_->record_window(t0, eff_end, lookahead_, eot_extended, wall_ns, busy,
+                        events);
   return total;
 }
 
@@ -188,11 +248,31 @@ std::uint64_t ShardedSimulator::run_windows(SimTime deadline, bool drain,
     // can be due inside it.
     const SimDuration len = std::max<SimDuration>(1, lookahead_);
     SimTime end = deadline;
+    bool eot_extended = false;
     if (lookahead_ != kSimTimeMax && deadline - t0 > len - 1) {
       end = t0 + len - 1;
+      if (adaptive_) {
+        // Same safety argument anchored at the earliest possible send
+        // instead of the window start: a send at t >= eot lands at
+        // t + L > eot + L - 1. The static floor above means adaptive
+        // never shortens a window; the deadline still caps it.
+        const SimTime eot = min_eot();
+        SimTime eot_end;
+        if (eot >= kSimTimeMax - len) {
+          eot_end = kSimTimeMax;  // idle frontier: run to the horizon
+        } else {
+          eot_end = eot + len - 1;
+        }
+        eot_end = std::min(eot_end, deadline);
+        if (eot_end > end) {
+          end = eot_end;
+          eot_extended = true;
+        }
+      }
     }
-    total += run_window(t0, end);
+    total += run_window(t0, end, eot_extended);
     ++windows_;
+    if (eot_extended) ++windows_extended_;
     flush_remote();
   }
   if (!drain && deadline != kSimTimeMax &&
@@ -242,7 +322,7 @@ std::uint64_t ShardedSimulator::run_until(SimTime deadline,
 
 std::size_t ShardedSimulator::pending() const {
   std::size_t n = 0;
-  for (const auto& sh : shards_) n += sh.sim->pending() + sh.outbox.size();
+  for (const auto& sh : shards_) n += sh.sim->pending() + sh.outbox_count;
   return n;
 }
 

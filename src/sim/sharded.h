@@ -19,18 +19,40 @@
 // current window, so no shard can ever receive an event in its past.
 // Windows need no null messages: the barrier itself is the sync point.
 //
+// Adaptive sync (opt-in, EOT-style): the static window span assumes every
+// shard might send cross-shard immediately, which makes windows exactly
+// one lookahead long even when most shards' outbound frontiers are idle.
+// With set_adaptive_sync(true), the coordinator asks each shard for its
+// earliest possible cross-shard send time (EOT) before opening a window
+// and sets
+//
+//   end = max(T0 + lookahead - 1, min_over_shards(EOT) + lookahead - 1)
+//
+// A send at t >= min EOT arrives at t + lookahead > end, so the extended
+// window is exactly as safe as the static one; the static term keeps the
+// floor so adaptive never produces a *shorter* window. EOT sources are
+// registered per shard (the network fabric derives them from per-node
+// locality declarations — see net::Network::set_local_only); a shard
+// without a source defaults to next_event_time(), which is always sound
+// and yields no extension. When every shard reports +inf the window
+// extends to the run horizon. EOTs are pure functions of simulated state,
+// so adaptive runs stay bit-reproducible for a fixed shard count + seed;
+// a stale or lying EOT source is caught at post time and aborts.
+//
 // Determinism: cross-shard posts are stamped (time, global-seq) where
 // global-seq packs {source shard : 16, per-source count : 48}. The merge
-// at each barrier sorts by that key before scheduling into destination
-// shards, so the destination's insertion order — and hence its (time,
-// seq) dispatch order — is a pure function of simulation state, never of
+// at each barrier buffers per (src, dst) and sorts per destination by
+// that key before scheduling; each destination's insertion order — and
+// hence its (time, seq) dispatch order — is the same subsequence a global
+// sort would produce, a pure function of simulation state, never of
 // thread scheduling. Runs are bit-reproducible for a fixed shard count
 // and seed.
 //
 // Single-shard mode bypasses all of this: every call delegates straight
 // to the one underlying Simulator on the calling thread, so shards=1
 // dispatches in the exact (time, seq) order of the classic engine and
-// every deterministic bench replays byte-for-byte.
+// every deterministic bench replays byte-for-byte — adaptive mode
+// included, since windows never exist.
 #pragma once
 
 #include <condition_variable>
@@ -50,6 +72,13 @@ namespace lnic::sim {
 
 class ShardedSimulator {
  public:
+  /// Earliest possible cross-shard send time of one shard, evaluated by
+  /// the coordinator between windows. Must be a pure function of
+  /// simulated state (never wall clocks or thread state) and must be
+  /// conservative: the shard promises not to post cross-shard before the
+  /// returned time. kSimTimeMax means "outbound frontier idle".
+  using EotFn = std::function<SimTime()>;
+
   /// Creates `shards` independent event shards (>= 1). Worker threads are
   /// spawned only when shards > 1.
   explicit ShardedSimulator(unsigned shards = 1);
@@ -68,6 +97,10 @@ class ShardedSimulator {
   /// cross-shard coupling (the network fabric) with its minimum
   /// interaction latency; the effective lookahead is the min over all
   /// callers. Must be positive — validate_lookahead() reports violations.
+  /// Safe to call after set_adaptive_sync(): both the static floor and
+  /// the EOT extension are recomputed from the current lookahead at every
+  /// window, so a late, tighter constraint re-tightens adaptive windows
+  /// too.
   void constrain_lookahead(SimDuration min_delay);
   SimDuration lookahead() const { return lookahead_; }
 
@@ -77,11 +110,24 @@ class ShardedSimulator {
   /// another shard's past).
   Status validate_lookahead() const;
 
+  /// Enables EOT-based adaptive window extension (see file header). Call
+  /// from the coordinating thread between runs, never mid-run. Off by
+  /// default: static mode is byte-for-byte the PR 6 engine.
+  void set_adaptive_sync(bool on) { adaptive_ = on; }
+  bool adaptive_sync() const { return adaptive_; }
+
+  /// Registers shard `s`'s EOT source. Unset shards report
+  /// next_event_time(), which is sound but never extends a window.
+  void set_eot_source(unsigned s, EotFn fn);
+
   /// Enqueues `fn` on shard `dst` at absolute time `at`, stamped with the
   /// next (time, global-seq) key from shard `src`. Must be called from
   /// code running on shard `src` (or from the coordinating thread between
   /// windows). Cross-shard posts inside a window must satisfy
-  /// `at >= shard(src).now() + lookahead()`; violations abort.
+  /// `at >= shard(src).now() + lookahead()`; violations abort. In
+  /// adaptive mode, a post landing inside the current window additionally
+  /// aborts as an EOT-contract violation (some shard promised a later
+  /// send than actually happened).
   void post(unsigned src, unsigned dst, SimTime at, EventFn fn);
 
   /// Runs until every shard drains (cross-shard mail included). Returns
@@ -95,7 +141,9 @@ class ShardedSimulator {
   /// As run_until, but re-evaluates `stop` at every window barrier and
   /// returns early (shards aligned at the last window's end) once it
   /// turns true. Lets callers wait for a completion flag in workloads
-  /// whose event queues never drain (heartbeats, periodic timers).
+  /// whose event queues never drain (heartbeats, periodic timers). Note
+  /// that adaptive mode coarsens barrier granularity, so runs may
+  /// overshoot the stop condition by up to one extended window span.
   std::uint64_t run_until(SimTime deadline, const std::function<bool()>& stop);
 
   /// Shard 0's clock. All shards share this value at every barrier, so
@@ -113,31 +161,43 @@ class ShardedSimulator {
   /// Synchronization windows executed by multi-shard runs.
   std::uint64_t windows_executed() const { return windows_; }
 
+  /// Windows whose end was pushed past the static floor by an EOT report.
+  std::uint64_t windows_extended() const { return windows_extended_; }
+
+  /// Barriers whose cross-shard merge was skipped outright because zero
+  /// events were buffered anywhere (the no-traffic fast path).
+  std::uint64_t barrier_merge_skips() const { return merge_skips_; }
+
   /// Wall-clock stall accounting: per-shard busy / barrier-wait, serial
   /// sync overhead, cross-shard event matrix, recent-window ring. Pure
   /// wall-clock bookkeeping — instrumentation never reads or perturbs
   /// simulated time, so runs stay byte-identical. Must be called from
   /// the coordinating thread (the thread that calls run()).
   ShardStats shard_stats() const { return stats_->snapshot(); }
-  /// Collector tuning (recent-window ring capacity); coordinator only.
+  /// Collector tuning (recent-window ring capacity, barrier-outlier
+  /// threshold); coordinator only.
   ShardStatsCollector& stats_collector() { return *stats_; }
 
  private:
   /// A cross-shard event buffered until the next barrier. gseq packs
   /// {src shard : 16, per-source sequence : 48} so the barrier merge
-  /// order is thread-schedule independent.
+  /// order is thread-schedule independent. The destination is implied by
+  /// which per-(src,dst) buffer holds the event.
   struct RemoteEvent {
     SimTime at;
     std::uint64_t gseq;
-    unsigned dst;
     EventFn fn;
   };
 
   struct Shard {
     std::unique_ptr<Simulator> sim;
+    // Cross-shard events buffered by destination (size == shards).
     // Written only by the shard's own thread during a window (or the
     // coordinator between windows); drained single-threaded at barriers.
-    std::vector<RemoteEvent> outbox;
+    // Vectors keep their capacity across windows, so steady-state
+    // barriers allocate nothing.
+    std::vector<std::vector<RemoteEvent>> outbox_by_dst;
+    std::size_t outbox_count = 0;
     std::uint64_t next_post_seq = 0;
     std::uint64_t window_dispatched = 0;
     // Wall nanoseconds this shard spent inside run_shard this window;
@@ -147,34 +207,48 @@ class ShardedSimulator {
     std::vector<std::uint64_t> posts_by_dst;
   };
 
-  /// Moves all outbox entries into destination shards in (at, gseq)
-  /// order. Runs single-threaded (between windows).
+  /// Moves all outbox entries into destination shards, sorted per
+  /// destination by (at, gseq). Runs single-threaded (between windows).
   void flush_remote();
 
   /// One synchronized window [t0, end]: all shards run_until(end) in
   /// parallel. Returns events dispatched this window.
-  std::uint64_t run_window(SimTime t0, SimTime end);
+  std::uint64_t run_window(SimTime t0, SimTime end, bool eot_extended);
 
   /// Shared core of run()/run_until(): windows until `deadline` (or
   /// drained when `drain`), checking `stop` at barriers when non-null.
   std::uint64_t run_windows(SimTime deadline, bool drain,
                             const std::function<bool()>* stop);
 
+  /// min over shards of their EOT report (adaptive mode; coordinator
+  /// thread, between windows).
+  SimTime min_eot() const;
+
   void worker_loop(unsigned s);
 
   std::vector<Shard> shards_;
   SimDuration lookahead_ = kSimTimeMax;
+  bool adaptive_ = false;
+  std::vector<EotFn> eot_sources_;
   std::uint64_t windows_ = 0;
+  std::uint64_t windows_extended_ = 0;
+  std::uint64_t merge_skips_ = 0;
+  // Pooled merge scratch: reused across barriers, capacity persists.
+  std::vector<RemoteEvent> merge_buf_;
   std::unique_ptr<ShardStatsCollector> stats_;
 
   // Window barrier for the persistent worker threads (shards 1..N-1;
   // shard 0 runs on the coordinating thread). The coordinator publishes
-  // {window_end_, epoch_}; workers run their shard and report done.
+  // {window_end_, window_active_, epoch_}; workers run their shard and
+  // report done. window_end_/window_active_ are constant for the length
+  // of a window, so shard threads may read them lock-free inside one
+  // (the epoch handshake orders the writes).
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable cv_work_;
   std::condition_variable cv_done_;
   SimTime window_end_ = 0;
+  bool window_active_ = false;
   std::uint64_t epoch_ = 0;
   unsigned done_count_ = 0;
   bool shutdown_ = false;

@@ -473,8 +473,9 @@ TEST(ShardStats, CollectorAccountingIdentity) {
   // Two windows; shard 1's second busy reading exceeds the window wall
   // (clock jitter) and must clamp so barrier never underflows.
   collector.record_window(/*t0=*/0, /*end=*/99, /*lookahead=*/100,
+                          /*eot_extended=*/false,
                           /*wall_ns=*/1000, {600, 300}, {10, 20});
-  collector.record_window(100, 199, 100, 2000, {1500, 2500}, {5, 5});
+  collector.record_window(100, 199, 100, false, 2000, {1500, 2500}, {5, 5});
   collector.add_run_wall(3500);  // 3000 ns of windows + 500 ns sync/merge
 
   const sim::ShardStats stats = collector.snapshot();
@@ -507,6 +508,33 @@ TEST(ShardStats, CollectorAccountingIdentity) {
   EXPECT_EQ(with_cross.cross(1, 0), 3u);
   EXPECT_EQ(with_cross.cross_posts[0], 7u);
   EXPECT_EQ(with_cross.cross_posts[1], 3u);
+}
+
+TEST(ShardStats, ConfigurableBarrierOutlierThreshold) {
+  // The outlier pager compares each window's wall against the running
+  // mean; benches tighten the default 8x multiplier to hear about
+  // smaller stalls. Detection starts after a 32-window burn-in so the
+  // first noisy samples don't page.
+  sim::ShardStatsCollector collector(1);
+  collector.set_outlier_threshold(3.0);
+  for (int i = 0; i < 40; ++i) {
+    const std::uint64_t wall = (i == 36) ? 10'000 : 1'000;
+    collector.record_window(i * 100, i * 100 + 99, 100, false, wall,
+                            {wall}, {1});
+  }
+  const sim::ShardStats stats = collector.snapshot();
+  EXPECT_DOUBLE_EQ(stats.outlier_threshold, 3.0);
+  EXPECT_EQ(stats.barrier_outliers, 1u);
+
+  // The default 8x multiplier stays quiet on the same shape of run with
+  // a 7x-mean spike.
+  sim::ShardStatsCollector lax(1);
+  for (int i = 0; i < 40; ++i) {
+    const std::uint64_t wall = (i == 36) ? 7'000 : 1'000;
+    lax.record_window(i * 100, i * 100 + 99, 100, false, wall, {wall}, {1});
+  }
+  EXPECT_DOUBLE_EQ(lax.snapshot().outlier_threshold, 8.0);
+  EXPECT_EQ(lax.snapshot().barrier_outliers, 0u);
 }
 
 TEST(ShardStats, DelegatedSingleShardRunCountsAsBusy) {

@@ -87,6 +87,86 @@ TEST(ShardedSimulator, StopPredicateEndsRunAtBarrier) {
   EXPECT_LT(sharded.now(), seconds(1));
 }
 
+TEST(ShardedSimulator, AdaptiveEotOnWindowBoundaryDoesNotExtend) {
+  // An EOT exactly at the window start yields eot + L - 1 == the static
+  // end: extension must not trigger (it never shortens, and equal is
+  // not longer).
+  sim::ShardedSimulator sharded(2);
+  sharded.constrain_lookahead(microseconds(10));
+  sharded.set_adaptive_sync(true);
+  int fired = 0;
+  sharded.shard(0).schedule_at(microseconds(5), [&fired] { ++fired; });
+  sharded.shard(1).schedule_at(microseconds(5), [&fired] { ++fired; });
+  EXPECT_EQ(sharded.run(), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sharded.windows_executed(), 1u);
+  EXPECT_EQ(sharded.windows_extended(), 0u);
+}
+
+TEST(ShardedSimulator, AdaptiveIdleFrontierCollapsesDrainToOneWindow) {
+  // When every shard reports an idle outbound frontier (EOT == +inf),
+  // the drain collapses into a single horizon-length window; the static
+  // engine pays one barrier per lookahead instead.
+  const auto load = [](sim::ShardedSimulator& sharded, int* fired) {
+    for (unsigned s = 0; s < 2; ++s) {
+      for (int i = 0; i < 100; ++i) {
+        sharded.shard(s).schedule_at(microseconds(i),
+                                     [fired] { ++*fired; });
+      }
+    }
+  };
+
+  sim::ShardedSimulator fixed(2);
+  fixed.constrain_lookahead(microseconds(1));
+  int fired_fixed = 0;
+  load(fixed, &fired_fixed);
+  fixed.run();
+  EXPECT_EQ(fired_fixed, 200);
+  EXPECT_GE(fixed.windows_executed(), 50u);
+
+  sim::ShardedSimulator adaptive(2);
+  adaptive.constrain_lookahead(microseconds(1));
+  for (unsigned s = 0; s < 2; ++s) {
+    adaptive.set_eot_source(s, [] { return kSimTimeMax; });
+  }
+  adaptive.set_adaptive_sync(true);
+  int fired_adaptive = 0;
+  load(adaptive, &fired_adaptive);
+  adaptive.run();
+  EXPECT_EQ(fired_adaptive, 200);
+  EXPECT_EQ(adaptive.windows_executed(), 1u);
+  EXPECT_EQ(adaptive.windows_extended(), 1u);
+}
+
+TEST(ShardedSimulator, LateConstrainLookaheadTightensAdaptiveFloor) {
+  // constrain_lookahead() arriving after adaptive sync is enabled (a
+  // link attached late) must still tighten the static window floor.
+  sim::ShardedSimulator sharded(2);
+  sharded.constrain_lookahead(microseconds(100));
+  sharded.set_adaptive_sync(true);
+  for (unsigned s = 0; s < 2; ++s) {
+    for (int i = 0; i < 10; ++i) {
+      sharded.shard(s).schedule_at(microseconds(10 * i), [] {});
+    }
+  }
+  sharded.run();
+  // All 10 event times fit inside one 100 us window.
+  EXPECT_EQ(sharded.windows_executed(), 1u);
+
+  sharded.constrain_lookahead(microseconds(10));
+  const SimTime base = sharded.now();
+  for (unsigned s = 0; s < 2; ++s) {
+    for (int i = 0; i < 10; ++i) {
+      sharded.shard(s).schedule_at(base + microseconds(10 * i), [] {});
+    }
+  }
+  sharded.run();
+  // The hot frontier (EOT == next event, one event per 10 us) pins each
+  // window to the tightened floor: one per event time.
+  EXPECT_EQ(sharded.windows_executed(), 11u);
+  EXPECT_EQ(sharded.windows_extended(), 0u);
+}
+
 TEST(ShardedSimulator, ValidateLookaheadRejectsZeroDelayCoupling) {
   sim::ShardedSimulator sharded(2);
   net::LinkConfig link;
@@ -125,10 +205,14 @@ TEST(ShardedCluster, ZeroDelayLinkRejectedAtDeploy) {
 }
 
 std::vector<SimDuration> run_cluster_web(unsigned shards, int requests,
-                                         std::uint64_t* cross_posts) {
+                                         std::uint64_t* cross_posts,
+                                         bool adaptive = false,
+                                         std::uint64_t* windows = nullptr) {
   core::ClusterConfig config;
   config.workers = 4;
   config.shards = shards;
+  config.adaptive_sync = adaptive;
+  config.shard_affinity_routing = adaptive;
   core::Cluster cluster(config);
   auto deployed = cluster.deploy(workloads::make_standard_workloads());
   EXPECT_TRUE(deployed.ok());
@@ -142,6 +226,7 @@ std::vector<SimDuration> run_cluster_web(unsigned shards, int requests,
     latencies.push_back(response.ok() ? response.value().latency : -1);
   }
   if (cross_posts != nullptr) *cross_posts = cluster.sharded().cross_shard_posts();
+  if (windows != nullptr) *windows = cluster.sharded().windows_executed();
   return latencies;
 }
 
@@ -167,6 +252,69 @@ TEST(ShardedCluster, FixedShardCountIsDeterministic) {
   const auto b = run_cluster_web(4, 15, &posts_b);
   EXPECT_EQ(a, b);
   EXPECT_EQ(posts_a, posts_b);
+}
+
+TEST(ShardedCluster, AdaptiveSyncRunIsBitReproducible) {
+  // Adaptive window extension moves *barriers*, never simulated truth:
+  // two identical adaptive runs must agree event-for-event, including
+  // the window count and cross-shard traffic.
+  std::uint64_t posts_a = 0;
+  std::uint64_t posts_b = 0;
+  std::uint64_t windows_a = 0;
+  std::uint64_t windows_b = 0;
+  const auto a =
+      run_cluster_web(4, 15, &posts_a, /*adaptive=*/true, &windows_a);
+  const auto b =
+      run_cluster_web(4, 15, &posts_b, /*adaptive=*/true, &windows_b);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(posts_a, posts_b);
+  EXPECT_EQ(windows_a, windows_b);
+  EXPECT_GT(windows_a, 0u);
+}
+
+TEST(ShardedCluster, AdaptiveSingleShardMatchesClassicEngine) {
+  // shards == 1 bypasses the window machinery entirely, so the adaptive
+  // flag must be a no-op there: same latencies as the classic engine.
+  const auto classic = run_cluster_web(1, 15, nullptr, /*adaptive=*/false);
+  const auto adaptive = run_cluster_web(1, 15, nullptr, /*adaptive=*/true);
+  EXPECT_EQ(classic, adaptive);
+}
+
+TEST(ShardedCluster, WorkerIslandsCoShardDeclaredIslands) {
+  // Two declared islands over four workers and two worker shards: each
+  // island lands whole on one shard, master keeps shard 0 to itself.
+  core::ClusterConfig config;
+  config.workers = 4;
+  config.shards = 3;
+  config.worker_islands = {7, 7, 9, 9};
+  core::Cluster cluster(config);
+  ASSERT_TRUE(cluster.deploy(workloads::make_standard_workloads()).ok());
+  const net::Network& network = cluster.network();
+  EXPECT_EQ(network.shard_of(cluster.gateway().node()), 0u);
+  EXPECT_EQ(network.shard_of(cluster.worker(0).node()),
+            network.shard_of(cluster.worker(1).node()));
+  EXPECT_EQ(network.shard_of(cluster.worker(2).node()),
+            network.shard_of(cluster.worker(3).node()));
+  EXPECT_NE(network.shard_of(cluster.worker(0).node()),
+            network.shard_of(cluster.worker(2).node()));
+  EXPECT_NE(network.shard_of(cluster.worker(0).node()), 0u);
+  EXPECT_NE(network.shard_of(cluster.worker(2).node()), 0u);
+}
+
+TEST(ShardedCluster, EmptyWorkerIslandsMatchesLegacyRoundRobin) {
+  // With no island declarations every worker is its own island, and the
+  // greedy packer must reproduce the historical 1 + i % (shards - 1)
+  // spread exactly — same shards, same simulated results.
+  core::ClusterConfig config;
+  config.workers = 4;
+  config.shards = 3;
+  core::Cluster cluster(config);
+  ASSERT_TRUE(cluster.deploy(workloads::make_standard_workloads()).ok());
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(cluster.network().shard_of(cluster.worker(i).node()),
+              1u + static_cast<unsigned>(i % 2))
+        << "worker " << i;
+  }
 }
 
 TEST(ShardedMetrics, ConcurrentLabeledHistogramMergeFromShards) {

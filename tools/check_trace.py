@@ -11,7 +11,9 @@ tree rooted at a gateway request span, reaching both the transport
 With --timeline the file is a merged Perfetto export (lnicctl
 timeline) and two more track families are required:
   - shard tracks: "shard.window" spans on the synthetic shard pid,
-    each carrying busy_ns/barrier_ns/wall_ns args;
+    each carrying busy_ns/barrier_ns/wall_ns args plus an extension
+    source tag ("floor" for static-lookahead windows, "eot" for
+    adaptively extended ones);
   - NPU tracks: at least one "nic:" process with thread metadata and
     busy spans;
 and every nic.execute span must carry a tenant arg when any does
@@ -31,6 +33,7 @@ def check_timeline(events):
     """Validates the shard and NPU track families of a merged export."""
     shard_threads = set()
     shard_windows = 0
+    eot_windows = 0
     nic_processes = set()
     nic_spans = 0
     for event in events:
@@ -47,12 +50,17 @@ def check_timeline(events):
         if event.get("ph") != "X":
             continue
         if name == "shard.window":
-            for key in ("busy_ns", "barrier_ns", "wall_ns"):
+            for key in ("busy_ns", "barrier_ns", "wall_ns", "extension"):
                 if key not in args:
                     fail(f"shard.window span missing args.{key}")
+            if args["extension"] not in ("floor", "eot"):
+                fail(f"shard.window extension must be 'floor' or 'eot', "
+                     f"got {args['extension']!r}")
             if event.get("ts") is None or event.get("dur") is None:
                 fail("shard.window span missing ts/dur")
             shard_windows += 1
+            if args["extension"] == "eot":
+                eot_windows += 1
     for event in events:
         if event.get("ph") == "X" and event.get("pid") in nic_processes:
             nic_spans += 1
@@ -74,7 +82,8 @@ def check_timeline(events):
         fail(f"only {len(tenanted)}/{len(executes)} nic.execute spans "
              f"carry a tenant arg")
     print(f"check_trace: timeline OK ({len(shard_threads)} shard track(s), "
-          f"{shard_windows} windows, {len(nic_processes)} nic process(es), "
+          f"{shard_windows} windows ({eot_windows} EOT-extended), "
+          f"{len(nic_processes)} nic process(es), "
           f"{nic_spans} npu spans, {len(tenanted)} tenant-annotated "
           f"executions)")
 
